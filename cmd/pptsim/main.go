@@ -1,0 +1,101 @@
+// Command pptsim regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	pptsim -list
+//	pptsim -exp fig12
+//	pptsim -exp fig8 -flows 1000 -seed 7 -repeats 3
+//	pptsim -exp fig12 -schemes ppt,dctcp -load 0.7
+//	pptsim -exp fig12 -csv   > fig12.csv
+//	pptsim -exp fig12 -json  > fig12.json
+//	pptsim -all
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"ppt/internal/exp"
+)
+
+func main() {
+	var (
+		id      = flag.String("exp", "", "experiment id (e.g. fig12, table2, ident)")
+		list    = flag.Bool("list", false, "list available experiments")
+		all     = flag.Bool("all", false, "run every experiment")
+		flows   = flag.Int("flows", 0, "override workload size (0 = experiment default)")
+		load    = flag.Float64("load", 0, "override network load where applicable")
+		seed    = flag.Int64("seed", 1, "workload RNG seed")
+		repeats = flag.Int("repeats", 1, "average metrics over this many seeds")
+		schemes = flag.String("schemes", "", "comma-separated scheme filter (e.g. ppt,dctcp)")
+		asCSV   = flag.Bool("csv", false, "emit results as CSV instead of tables")
+		asJSON  = flag.Bool("json", false, "emit results as JSON instead of tables")
+	)
+	flag.Parse()
+
+	opts := exp.Options{Flows: *flows, Load: *load, Seed: *seed, Repeats: *repeats}
+	if *schemes != "" {
+		opts.Schemes = strings.Split(*schemes, ",")
+	}
+	format = formatTable
+	if *asCSV {
+		format = formatCSV
+	}
+	if *asJSON {
+		format = formatJSON
+	}
+
+	switch {
+	case *list:
+		fmt.Printf("%-8s %s\n", "ID", "TITLE")
+		for _, e := range exp.List() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+	case *all:
+		for _, e := range exp.List() {
+			run(e.ID, opts)
+		}
+	case *id != "":
+		run(*id, opts)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+type outputFormat int
+
+const (
+	formatTable outputFormat = iota
+	formatCSV
+	formatJSON
+)
+
+var format outputFormat
+
+func run(id string, opts exp.Options) {
+	start := time.Now()
+	res, err := exp.RunByID(id, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	switch format {
+	case formatCSV:
+		fmt.Print(res.CSV())
+	case formatJSON:
+		out, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println(string(out))
+	default:
+		fmt.Print(res.Render())
+		fmt.Printf("(%s in %.1fs)\n\n", id, time.Since(start).Seconds())
+	}
+}

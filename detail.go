@@ -1,0 +1,119 @@
+package ppt
+
+import (
+	"io"
+
+	"ppt/internal/netsim"
+	"ppt/internal/stats"
+	"ppt/internal/transport"
+	"ppt/internal/workload"
+)
+
+// Detail is the full measurement set of one simulation run, beyond the
+// headline Summary: per-size-class breakdowns, slowdowns (FCT normalized
+// by unloaded ideal, the Homa/pFabric metric), fairness indices,
+// transfer efficiency, and the raw per-flow records.
+type Detail struct {
+	Summary   Summary
+	Buckets   []stats.Bucket
+	Slowdowns stats.SlowdownSummary
+	// Jain is Jain's fairness index over per-flow throughput (1 = fair).
+	Jain float64
+	// TransferEfficiency is distinct delivered bytes / payload bytes
+	// sent (1 = no waste).
+	TransferEfficiency float64
+	// LowLoopShare is the fraction of delivered bytes carried by the
+	// low-priority loop (PPT/RC3-family transports; 0 otherwise).
+	LowLoopShare float64
+
+	collector *stats.Collector
+}
+
+// WriteFlowsCSV dumps the raw per-flow completions for external
+// analysis.
+func (d *Detail) WriteFlowsCSV(w io.Writer) error {
+	return d.collector.WriteCSV(w)
+}
+
+// Records returns the raw completions.
+func (d *Detail) Records() []stats.FCTRecord {
+	return d.collector.Records()
+}
+
+// RunDetailed is Run with the full measurement set.
+func RunDetailed(cfg Config) (*Detail, error) {
+	if cfg.Transport == "" {
+		cfg.Transport = TransportPPT
+	}
+	if cfg.Topology == "" {
+		cfg.Topology = TopologySim
+	}
+	if cfg.Workload == "" {
+		cfg.Workload = "websearch"
+	}
+	if cfg.Load == 0 {
+		cfg.Load = 0.5
+	}
+	if cfg.Flows == 0 {
+		cfg.Flows = 500
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	dist, err := workload.ByName(cfg.Workload)
+	if err != nil {
+		return nil, err
+	}
+	tcfg, build, rtoMin, err := topologyFor(cfg.Topology)
+	if err != nil {
+		return nil, err
+	}
+	protoFn, tweak, err := transportFor(cfg.Transport)
+	if err != nil {
+		return nil, err
+	}
+	if tweak != nil {
+		tweak(&tcfg)
+	}
+	net := build(tcfg)
+	env := transport.NewEnv(net)
+	env.RTOMin = rtoMin
+	flows := buildFlows(dist, tcfg.HostRate, len(net.Hosts), cfg)
+	sum := transport.Run(env, protoFn(env), flows, transport.RunConfig{})
+
+	d := &Detail{
+		Summary:            sum,
+		Buckets:            env.Collector.Buckets(stats.DefaultBucketBounds),
+		Slowdowns:          env.Collector.Slowdowns(net.BottleneckRate, net.BaseRTT),
+		Jain:               stats.JainIndex(env.Collector.Records()),
+		TransferEfficiency: env.Eff.Overall(),
+		collector:          env.Collector,
+	}
+	if env.Eff.UsefulDelivered > 0 {
+		d.LowLoopShare = float64(env.Eff.UsefulLow) / float64(env.Eff.UsefulDelivered)
+	}
+	return d, nil
+}
+
+// buildFlows generates the workload for a fabric (shared by Run and
+// RunDetailed).
+func buildFlows(dist *workload.Dist, rate netsim.Rate, hosts int, cfg Config) []transport.SimpleFlow {
+	var pattern workload.Pattern = workload.AllToAll{N: hosts}
+	if cfg.Incast > 0 {
+		pattern = workload.Incast{N: hosts, Target: 0, Senders: cfg.Incast}
+	}
+	wf := workload.Generate(workload.GenConfig{
+		Dist: dist, Pattern: pattern, Load: cfg.Load,
+		HostRate: rate, NumFlows: cfg.Flows, Seed: cfg.Seed,
+	})
+	flows := make([]transport.SimpleFlow, len(wf))
+	for i, f := range wf {
+		fc := f.Size
+		if cfg.SendBuf > 0 && fc > cfg.SendBuf {
+			fc = cfg.SendBuf
+		}
+		flows[i] = transport.SimpleFlow{ID: f.ID, Src: f.Src, Dst: f.Dst,
+			Size: f.Size, Arrive: f.Arrive, FirstCall: fc}
+	}
+	return flows
+}

@@ -1,0 +1,25 @@
+// Ablation: regenerate the §6.3.1 deep-dive — what each of PPT's design
+// components (ECN on the LCP, exponential window decreasing, flow
+// scheduling, flow identification) contributes — via the experiment
+// registry that backs `pptsim`.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ppt"
+)
+
+func main() {
+	fmt.Println("PPT component ablations (web search, load 0.5, 40/100G leaf-spine)")
+	fmt.Println()
+	for _, id := range []string{"fig15", "fig16", "fig17", "fig18"} {
+		res, err := ppt.RunExperiment(id, ppt.Options{Flows: 200})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(res.Render())
+		fmt.Println()
+	}
+}

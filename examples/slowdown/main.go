@@ -1,0 +1,40 @@
+// Slowdown: compare transports by normalized FCT (actual FCT over the
+// unloaded ideal — the metric the Homa and pFabric papers report) using
+// the detailed-results API, including a per-size-class breakdown for
+// PPT.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ppt"
+	"ppt/internal/stats"
+)
+
+func main() {
+	fmt.Println("Slowdown comparison: Web Search at load 0.6 on the 40/100G leaf-spine fabric")
+	fmt.Printf("%-10s %10s %10s %10s %8s %8s\n",
+		"transport", "mean", "p50", "p99", "jain", "eff")
+	var pptDetail *ppt.Detail
+	for _, tr := range []string{ppt.TransportDCTCP, ppt.TransportRC3, ppt.TransportHoma, ppt.TransportPPT} {
+		d, err := ppt.RunDetailed(ppt.Config{
+			Transport: tr,
+			Workload:  "websearch",
+			Load:      0.6,
+			Flows:     300,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s %10.2f %10.2f %10.2f %8.3f %8.3f\n",
+			tr, d.Slowdowns.Mean, d.Slowdowns.P50, d.Slowdowns.P99, d.Jain, d.TransferEfficiency)
+		if tr == ppt.TransportPPT {
+			pptDetail = d
+		}
+	}
+	fmt.Println("\nPPT per-size-class breakdown:")
+	fmt.Print(stats.BucketTable(pptDetail.Buckets))
+	fmt.Printf("\n%.1f%% of delivered bytes rode PPT's low-priority loop.\n",
+		pptDetail.LowLoopShare*100)
+}

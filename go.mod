@@ -1,0 +1,3 @@
+module ppt
+
+go 1.22

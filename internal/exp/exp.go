@@ -1,0 +1,239 @@
+// Package exp contains one registered experiment per table and figure in
+// the paper's evaluation, each reproducible from the pptsim CLI or the
+// root bench harness. Experiments build a fresh fabric per scheme,
+// generate a workload, run it to completion, and report the paper's FCT
+// breakdown (overall average, small-flow average/p99, large-flow
+// average) plus experiment-specific extras.
+package exp
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ppt/internal/sim"
+	"ppt/internal/stats"
+)
+
+// Options scale and filter an experiment run.
+type Options struct {
+	// Flows scales the workload (0 = experiment default).
+	Flows int
+	// Load overrides the network load where meaningful (0 = default).
+	Load float64
+	// Seed randomizes workloads (default 1).
+	Seed int64
+	// Schemes, when non-empty, restricts comparison experiments to the
+	// named schemes.
+	Schemes []string
+	// Repeats, when > 1, averages each scheme's metrics over this many
+	// independent seeds (seed, seed+1, ...). Percentiles are averaged
+	// across repeats (a mean-of-p99s, not a pooled p99).
+	Repeats int
+}
+
+func (o Options) withDefaults(defFlows int) Options {
+	if o.Flows == 0 {
+		o.Flows = defFlows
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Repeats == 0 {
+		o.Repeats = 1
+	}
+	return o
+}
+
+func (o Options) wants(scheme string) bool {
+	if len(o.Schemes) == 0 {
+		return true
+	}
+	for _, s := range o.Schemes {
+		if s == scheme {
+			return true
+		}
+	}
+	return false
+}
+
+// Row is one line of an experiment's table.
+type Row struct {
+	Label string
+	Sum   stats.Summary
+	// Extra carries experiment-specific metrics (utilization,
+	// occupancy, efficiency, accuracy...).
+	Extra map[string]float64
+}
+
+// Result is a completed experiment.
+type Result struct {
+	ID    string
+	Title string
+	Rows  []Row
+	Notes []string
+}
+
+// CSV renders the result rows as comma-separated values (times in
+// microseconds) for external plotting.
+func (r *Result) CSV() string {
+	var b strings.Builder
+	b.WriteString("experiment,scheme,overall_avg_us,small_avg_us,small_p99_us,large_avg_us,flows")
+	extraKeys := map[string]bool{}
+	for _, row := range r.Rows {
+		for k := range row.Extra {
+			extraKeys[k] = true
+		}
+	}
+	keys := make([]string, 0, len(extraKeys))
+	for k := range extraKeys {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(&b, ",%s", k)
+	}
+	b.WriteByte('\n')
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%s,%s,%.3f,%.3f,%.3f,%.3f,%d",
+			r.ID, row.Label, row.Sum.OverallAvg.Micros(), row.Sum.SmallAvg.Micros(),
+			row.Sum.SmallP99.Micros(), row.Sum.LargeAvg.Micros(), row.Sum.Flows)
+		for _, k := range keys {
+			if v, ok := row.Extra[k]; ok {
+				fmt.Fprintf(&b, ",%g", v)
+			} else {
+				b.WriteByte(',')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Render formats the result as the paper-style text table.
+func (r *Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	hasFCT := false
+	for _, row := range r.Rows {
+		if row.Sum.Flows > 0 {
+			hasFCT = true
+			break
+		}
+	}
+	if hasFCT {
+		fmt.Fprintf(&b, "%-22s %12s %12s %12s %12s %7s\n",
+			"scheme", "overall-avg", "small-avg", "small-p99", "large-avg", "flows")
+		for _, row := range r.Rows {
+			fmt.Fprintf(&b, "%-22s %12s %12s %12s %12s %7d",
+				row.Label, fmtT(row.Sum.OverallAvg), fmtT(row.Sum.SmallAvg),
+				fmtT(row.Sum.SmallP99), fmtT(row.Sum.LargeAvg), row.Sum.Flows)
+			b.WriteString(extras(row.Extra))
+			b.WriteByte('\n')
+		}
+	} else {
+		for _, row := range r.Rows {
+			fmt.Fprintf(&b, "%-22s", row.Label)
+			b.WriteString(extras(row.Extra))
+			b.WriteByte('\n')
+		}
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+func fmtT(t sim.Time) string {
+	if t == 0 {
+		return "-"
+	}
+	return t.String()
+}
+
+func extras(m map[string]float64) string {
+	if len(m) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, "  %s=%.4g", k, m[k])
+	}
+	return b.String()
+}
+
+// Experiment is one registered table/figure reproduction.
+type Experiment struct {
+	ID    string
+	Title string
+	// DefFlows is the default workload size.
+	DefFlows int
+	Run      func(o Options) *Result
+}
+
+var registry = map[string]*Experiment{}
+
+func register(e *Experiment) {
+	if _, dup := registry[e.ID]; dup {
+		panic("exp: duplicate experiment " + e.ID)
+	}
+	registry[e.ID] = e
+}
+
+// Get returns the experiment with the given id.
+func Get(id string) (*Experiment, error) {
+	e, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("exp: unknown experiment %q (try `pptsim -list`)", id)
+	}
+	return e, nil
+}
+
+// List returns all experiments sorted by id.
+func List() []*Experiment {
+	out := make([]*Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return natLess(out[i].ID, out[j].ID) })
+	return out
+}
+
+// natLess orders fig2 before fig10.
+func natLess(a, b string) bool {
+	pa, na := splitNat(a)
+	pb, nb := splitNat(b)
+	if pa != pb {
+		return pa < pb
+	}
+	if na != nb {
+		return na < nb
+	}
+	return a < b
+}
+
+func splitNat(s string) (string, int) {
+	i := 0
+	for i < len(s) && (s[i] < '0' || s[i] > '9') {
+		i++
+	}
+	n := 0
+	for j := i; j < len(s) && s[j] >= '0' && s[j] <= '9'; j++ {
+		n = n*10 + int(s[j]-'0')
+	}
+	return s[:i], n
+}
+
+// RunByID runs one experiment by id.
+func RunByID(id string, o Options) (*Result, error) {
+	e, err := Get(id)
+	if err != nil {
+		return nil, err
+	}
+	return e.Run(o.withDefaults(e.DefFlows)), nil
+}

@@ -1,0 +1,122 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestEveryExperimentRunsAtSmokeScale is the registry's integration
+// test: every registered table/figure must run to completion at a tiny
+// workload size and produce at least one row.
+func TestEveryExperimentRunsAtSmokeScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration sweep")
+	}
+	for _, e := range List() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			t.Parallel()
+			flows := 25
+			if e.ID == "ident" {
+				flows = 5000
+			}
+			res := e.Run(Options{Flows: flows, Seed: 2}.withDefaults(e.DefFlows))
+			if res == nil || len(res.Rows) == 0 {
+				t.Fatalf("%s produced no rows", e.ID)
+			}
+			if res.ID != e.ID {
+				t.Fatalf("result id %q != %q", res.ID, e.ID)
+			}
+			out := res.Render()
+			if !strings.Contains(out, e.ID) {
+				t.Fatalf("render missing id:\n%s", out)
+			}
+		})
+	}
+}
+
+func TestGetUnknown(t *testing.T) {
+	if _, err := Get("nope"); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+	if _, err := RunByID("nope", Options{}); err == nil {
+		t.Fatal("RunByID accepted unknown id")
+	}
+}
+
+func TestListSortedNaturally(t *testing.T) {
+	ids := List()
+	for i, e := range ids {
+		if i == 0 {
+			continue
+		}
+		if !natLess(ids[i-1].ID, e.ID) && ids[i-1].ID != e.ID {
+			t.Fatalf("order broken: %s before %s", ids[i-1].ID, e.ID)
+		}
+	}
+	// fig2 must come before fig10 (natural, not lexicographic).
+	var i2, i10 int
+	for i, e := range ids {
+		if e.ID == "fig2" {
+			i2 = i
+		}
+		if e.ID == "fig10" {
+			i10 = i
+		}
+	}
+	if i2 > i10 {
+		t.Fatal("fig2 sorted after fig10")
+	}
+}
+
+func TestOptionsSchemeFilter(t *testing.T) {
+	o := Options{Schemes: []string{"ppt", "dctcp"}}
+	if !o.wants("ppt") || !o.wants("dctcp") {
+		t.Fatal("filter rejects listed schemes")
+	}
+	if o.wants("homa") {
+		t.Fatal("filter accepts unlisted scheme")
+	}
+	var all Options
+	if !all.wants("anything") {
+		t.Fatal("empty filter must accept everything")
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults(123)
+	if o.Flows != 123 || o.Seed != 1 {
+		t.Fatalf("defaults = %+v", o)
+	}
+	o = Options{Flows: 7, Seed: 9}.withDefaults(123)
+	if o.Flows != 7 || o.Seed != 9 {
+		t.Fatalf("overrides lost: %+v", o)
+	}
+}
+
+func TestCompareRespectsFilter(t *testing.T) {
+	fab := testbedFabric()
+	rows := compare(Options{Flows: 10, Seed: 1, Schemes: []string{"dctcp"}},
+		fab, nil, nil, 0, nil)
+	_ = rows // compare with nil dist/pattern and no names returns empty
+	if len(rows) != 0 {
+		t.Fatal("expected no rows")
+	}
+}
+
+func TestNatLess(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want bool
+	}{
+		{"fig2", "fig10", true},
+		{"fig10", "fig2", false},
+		{"fig1", "table1", true},
+		{"ident", "table1", true},
+	}
+	for _, c := range cases {
+		if got := natLess(c.a, c.b); got != c.want {
+			t.Errorf("natLess(%q,%q) = %v", c.a, c.b, got)
+		}
+	}
+}

@@ -1,0 +1,41 @@
+package exp
+
+import "ppt/internal/workload"
+
+func init() {
+	register(&Experiment{
+		ID:       "extb",
+		Title:    "[Extension] Appendix B: PPT's dual loop on an INT-based transport (HPCC)",
+		DefFlows: 400,
+		Run: func(o Options) *Result {
+			return &Result{ID: "extb", Title: "HPCC with and without PPT's low-priority loop",
+				Rows: simComparison(o, simFabric(3, 2, 8), workload.WebSearch, 0.5, []string{"hpcc", "hpcc+ppt"}),
+				Notes: []string{
+					"appendix B: open an LCP loop whenever HPCC's telemetry-estimated inflight is below BDP",
+					"expected: lower small-flow FCT at equal or better overall average",
+				}}
+		},
+	})
+	register(&Experiment{
+		ID:       "reactive",
+		Title:    "[Extension] All reactive baselines of Table 1 head-to-head",
+		DefFlows: 400,
+		Run: func(o Options) *Result {
+			return &Result{ID: "reactive", Title: "reactive transports, web search at 0.5",
+				Rows: simComparison(o, simFabric(3, 2, 8), workload.WebSearch, 0.5,
+					[]string{"tcp10", "halfback", "dctcp", "rc3", "pias", "hpcc", "ppt"}),
+				Notes: []string{"TCP-10 and Halfback only address the startup phase; PPT also fills queue-buildup gaps"}}
+		},
+	})
+	register(&Experiment{
+		ID:       "proactive",
+		Title:    "[Extension] All proactive baselines of Table 1 head-to-head",
+		DefFlows: 400,
+		Run: func(o Options) *Result {
+			return &Result{ID: "proactive", Title: "proactive transports vs PPT, web search at 0.5",
+				Rows: simComparison(o, simFabric(3, 2, 8), workload.WebSearch, 0.5,
+					[]string{"expresspass", "ndp", "homa", "aeolus", "ppt"}),
+				Notes: []string{"ExpressPass wastes the first RTT on credits; Homa/Aeolus burst at line rate"}}
+		},
+	})
+}

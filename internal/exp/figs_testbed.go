@@ -1,0 +1,85 @@
+package exp
+
+import (
+	"fmt"
+
+	"ppt/internal/workload"
+)
+
+// testbedSchemes are the four transports the CloudLab experiments
+// compare (§6.1).
+var testbedSchemes = []string{"homa", "rc3", "dctcp", "ppt"}
+
+// loadSweep runs the 15-to-15 pattern across loads for one workload.
+func loadSweep(o Options, dist *workload.Dist, loads []float64) []Row {
+	fab := testbedFabric()
+	var rows []Row
+	for _, load := range loads {
+		if o.Load != 0 {
+			load = o.Load
+		}
+		for _, r := range compare(o, fab, dist, workload.AllToAll{N: fab.hosts}, load, testbedSchemes) {
+			r.Label = fmt.Sprintf("%s@%.1f", r.Label, load)
+			rows = append(rows, r)
+		}
+		if o.Load != 0 {
+			break
+		}
+	}
+	return rows
+}
+
+func init() {
+	register(&Experiment{
+		ID:       "fig8",
+		Title:    "[Testbed] 15-to-15, Web Search, loads 0.3/0.5/0.8",
+		DefFlows: 300,
+		Run: func(o Options) *Result {
+			return &Result{ID: "fig8", Title: "testbed 15-to-15 web search",
+				Rows:  loadSweep(o, workload.WebSearch, []float64{0.3, 0.5, 0.8}),
+				Notes: []string{"paper: PPT cuts overall avg FCT by up to 79.7%/82.3%/98.1% vs Homa-Linux/RC3/DCTCP"}}
+		},
+	})
+	register(&Experiment{
+		ID:       "fig9",
+		Title:    "[Testbed] 15-to-15, Data Mining, loads 0.3/0.5/0.8",
+		DefFlows: 200,
+		Run: func(o Options) *Result {
+			return &Result{ID: "fig9", Title: "testbed 15-to-15 data mining",
+				Rows:  loadSweep(o, workload.DataMining, []float64{0.3, 0.5, 0.8}),
+				Notes: []string{"paper: PPT cuts overall avg FCT by up to 28.9%/17.6%/96% vs Homa-Linux/RC3/DCTCP"}}
+		},
+	})
+	register(&Experiment{
+		ID:       "fig10",
+		Title:    "[Testbed] 14-to-1 incast, Web Search, load 0.5",
+		DefFlows: 300,
+		Run: func(o Options) *Result {
+			fab := testbedFabric()
+			load := 0.5
+			if o.Load != 0 {
+				load = o.Load
+			}
+			rows := compare(o, fab, workload.WebSearch, workload.Incast{N: fab.hosts, Target: 0}, load, testbedSchemes)
+			return &Result{ID: "fig10", Title: "testbed 14-to-1 web search",
+				Rows:  rows,
+				Notes: []string{"paper: PPT cuts overall avg FCT by 74.8%/92.7%/95.5% vs Homa-Linux/RC3/DCTCP"}}
+		},
+	})
+	register(&Experiment{
+		ID:       "fig11",
+		Title:    "[Testbed] 14-to-1 incast, Data Mining, load 0.5",
+		DefFlows: 200,
+		Run: func(o Options) *Result {
+			fab := testbedFabric()
+			load := 0.5
+			if o.Load != 0 {
+				load = o.Load
+			}
+			rows := compare(o, fab, workload.DataMining, workload.Incast{N: fab.hosts, Target: 0}, load, testbedSchemes)
+			return &Result{ID: "fig11", Title: "testbed 14-to-1 data mining",
+				Rows:  rows,
+				Notes: []string{"paper: PPT cuts overall avg FCT by 32%/23.4%/94% vs Homa-Linux/RC3/DCTCP"}}
+		},
+	})
+}

@@ -1,0 +1,282 @@
+package exp
+
+import (
+	"ppt/internal/bufaware"
+	"ppt/internal/netsim"
+	"ppt/internal/sim"
+	"ppt/internal/stats"
+	"ppt/internal/topo"
+	"ppt/internal/transport"
+	"ppt/internal/transport/aeolus"
+	"ppt/internal/transport/dctcp"
+	"ppt/internal/transport/expresspass"
+	"ppt/internal/transport/halfback"
+	"ppt/internal/transport/homa"
+	"ppt/internal/transport/hpcc"
+	"ppt/internal/transport/ndp"
+	"ppt/internal/transport/pias"
+	"ppt/internal/transport/ppt"
+	"ppt/internal/transport/rc3"
+	"ppt/internal/transport/swift"
+	"ppt/internal/workload"
+)
+
+// fabric describes how an experiment builds its network.
+type fabric struct {
+	name   string
+	build  func(cfg topo.Config) *topo.Network
+	cfg    topo.Config
+	rtoMin sim.Time
+	hosts  int
+}
+
+// simFabric is the §6.2 profile: 144 hosts, 9 leaves, 4 spines, 40/100G
+// oversubscribed, 120KB/port, K_H=96KB, K_L=86KB, plain drop-tail shared
+// buffers (the paper's ns-3 switch model; the testbed profile keeps
+// dynamic thresholds, as real shared-buffer silicon does). Experiments
+// default to a smaller 3-leaf slice (24 hosts) so runs stay tractable;
+// the full topology is a -flows-scaled pptsim run away.
+func simFabric(leaves, spines, perLeaf int) fabric {
+	return fabric{
+		name:  "leafspine-40/100G",
+		build: func(cfg topo.Config) *topo.Network { return topo.LeafSpine(leaves, spines, perLeaf, cfg) },
+		cfg: topo.Config{
+			HostRate:      40 * netsim.Gbps,
+			CoreRate:      100 * netsim.Gbps,
+			PerPortBuffer: 120_000,
+			ECNHighK:      96_000,
+			ECNLowK:       86_000,
+		},
+		rtoMin: 1 * sim.Millisecond,
+		hosts:  leaves * perLeaf,
+	}
+}
+
+// fastFabric is the 100/400G variant of Fig 22.
+func fastFabric(leaves, spines, perLeaf int) fabric {
+	f := simFabric(leaves, spines, perLeaf)
+	f.name = "leafspine-100/400G"
+	f.cfg.HostRate = 100 * netsim.Gbps
+	f.cfg.CoreRate = 400 * netsim.Gbps
+	f.cfg.PerPortBuffer = 300_000
+	f.cfg.ECNHighK = 240_000
+	f.cfg.ECNLowK = 215_000
+	return f
+}
+
+// nonOverFabric is the appendix E 1:1 fabric.
+func nonOverFabric(leaves, spines, perLeaf int) fabric {
+	f := simFabric(leaves, spines, perLeaf)
+	f.name = "leafspine-10/40G-1:1"
+	f.cfg.HostRate = 10 * netsim.Gbps
+	f.cfg.CoreRate = 40 * netsim.Gbps
+	f.cfg.ECNHighK = 30_000
+	f.cfg.ECNLowK = 25_000
+	return f
+}
+
+// testbedFabric is the Table 3 CloudLab profile: 15 hosts, 10G, 80µs
+// RTT, 50MB shared buffer, RTO_min 10ms.
+func testbedFabric() fabric {
+	return fabric{
+		name:  "testbed-star-10G",
+		build: func(cfg topo.Config) *topo.Network { return topo.Star(15, cfg) },
+		cfg: topo.Config{
+			HostRate:            10 * netsim.Gbps,
+			LinkDelay:           20 * sim.Microsecond,
+			SharedBuffer:        50 << 20,
+			ECNHighK:            100_000,
+			ECNLowK:             80_000,
+			DynamicLowThreshold: true,
+		},
+		rtoMin: 10 * sim.Millisecond,
+		hosts:  15,
+	}
+}
+
+// dumbbellFabric is the Fig 1/20/28/29 microbenchmark: senders + one
+// receiver on a 40G switch with a 120KB buffer.
+func dumbbellFabric(senders int, ecnK int64) fabric {
+	return fabric{
+		name:  "dumbbell-40G",
+		build: func(cfg topo.Config) *topo.Network { return topo.Star(senders+1, cfg) },
+		cfg: topo.Config{
+			HostRate:     40 * netsim.Gbps,
+			LinkDelay:    1 * sim.Microsecond,
+			SharedBuffer: 120_000,
+			ECNHighK:     ecnK,
+			ECNLowK:      ecnK * 5 / 6,
+		},
+		rtoMin: 1 * sim.Millisecond,
+		hosts:  senders + 1,
+	}
+}
+
+// scheme is one comparable transport.
+type scheme struct {
+	name string
+	// tweak adapts the fabric for the scheme's switch requirements
+	// (trimming, INT, selective drop).
+	tweak func(*topo.Config)
+	// make builds a fresh protocol instance for one run.
+	make func(env *transport.Env) transport.Protocol
+}
+
+func tweakTrim(c *topo.Config) { c.TrimToHeader = true }
+func tweakINT(c *topo.Config)  { c.EnableINT = true }
+func tweakDrop(c *topo.Config) {
+	if c.PerPortBuffer > 0 {
+		c.DroppableThresh = c.PerPortBuffer / 8
+	} else {
+		c.DroppableThresh = 24_000
+	}
+}
+
+// pptScheme builds a PPT scheme with the given config tweaks.
+func pptScheme(name string, cfg ppt.Config) scheme {
+	return scheme{
+		name: name,
+		make: func(env *transport.Env) transport.Protocol { return ppt.Proto{Cfg: cfg} },
+	}
+}
+
+func baseSchemes() map[string]scheme {
+	return map[string]scheme{
+		"dctcp": {name: "dctcp", make: func(*transport.Env) transport.Protocol { return dctcp.Proto{} }},
+		"rc3":   {name: "rc3", make: func(*transport.Env) transport.Protocol { return rc3.Proto{} }},
+		// PIAS uses all eight priorities for demotion, so every queue
+		// marks like the high class (one per-port DCTCP threshold).
+		"pias": {name: "pias", tweak: func(c *topo.Config) { c.ECNLowK = c.ECNHighK },
+			make: func(*transport.Env) transport.Protocol { return pias.Proto{} }},
+		"hpcc": {name: "hpcc", tweak: tweakINT, make: func(*transport.Env) transport.Protocol { return hpcc.Proto{} }},
+		"homa": {name: "homa", make: func(*transport.Env) transport.Protocol { return homa.New(homa.Config{}) }},
+		"aeolus": {name: "aeolus", tweak: tweakDrop,
+			make: func(*transport.Env) transport.Protocol { return aeolus.New(aeolus.Config{}) }},
+		"ndp": {name: "ndp", tweak: tweakTrim,
+			make: func(*transport.Env) transport.Protocol { return ndp.New(ndp.Config{}) }},
+		"ppt":       pptScheme("ppt", ppt.Config{}),
+		"swift":     {name: "swift", make: func(*transport.Env) transport.Protocol { return swift.Proto{} }},
+		"swift+ppt": {name: "swift+ppt", make: func(*transport.Env) transport.Protocol { return swift.Proto{Cfg: swift.Config{WithPPT: true}} }},
+		"hpcc+ppt": {name: "hpcc+ppt", tweak: tweakINT,
+			make: func(*transport.Env) transport.Protocol { return hpcc.PPTVariant{} }},
+		// tcp10 is the TCP-10 row of Table 1: loss-driven TCP with an
+		// initial window of 10 (no ECN reaction).
+		"tcp10": {name: "tcp10", make: func(*transport.Env) transport.Protocol {
+			return dctcp.Proto{Cfg: dctcp.Config{NoECN: true}}
+		}},
+		"halfback": {name: "halfback", make: func(*transport.Env) transport.Protocol { return halfback.Proto{} }},
+		"expresspass": {name: "expresspass",
+			make: func(*transport.Env) transport.Protocol { return expresspass.New(expresspass.Config{}) }},
+	}
+}
+
+// runSpec is one scheme execution.
+type runSpec struct {
+	fab     fabric
+	sc      scheme
+	dist    *workload.Dist
+	pattern workload.Pattern
+	load    float64
+	flows   int
+	seed    int64
+	// sendBuf models the TCP send buffer for first-call identification
+	// and LCP reach (0 = unbounded / 2GB).
+	sendBuf int64
+	app     bufaware.AppModel
+}
+
+// execute builds the fabric, generates flows, and runs to completion,
+// returning the summary and the environment for extra metrics.
+func execute(spec runSpec) (stats.Summary, *transport.Env) {
+	cfg := spec.fab.cfg
+	if spec.sc.tweak != nil {
+		spec.sc.tweak(&cfg)
+	}
+	net := spec.fab.build(cfg)
+	env := transport.NewEnv(net)
+	env.RTOMin = spec.fab.rtoMin
+
+	app := spec.app
+	if app.Name == "" {
+		app = bufaware.Bulk
+	}
+	wf := workload.Generate(workload.GenConfig{
+		Dist:     spec.dist,
+		Pattern:  spec.pattern,
+		Load:     spec.load,
+		HostRate: cfg.HostRate,
+		NumFlows: spec.flows,
+		Seed:     spec.seed,
+	})
+	flows := make([]transport.SimpleFlow, len(wf))
+	sizes := make([]int64, len(wf))
+	for i, f := range wf {
+		sizes[i] = f.Size
+	}
+	firstCalls := bufaware.AssignFirstCalls(sizes, app, spec.sendBuf, spec.seed+7)
+	for i, f := range wf {
+		flows[i] = transport.SimpleFlow{
+			ID: f.ID, Src: f.Src, Dst: f.Dst, Size: f.Size,
+			Arrive: f.Arrive, FirstCall: firstCalls[i],
+		}
+	}
+	proto := spec.sc.make(env)
+	sum := transport.Run(env, proto, flows, transport.RunConfig{})
+	return sum, env
+}
+
+// compare runs the given schemes over one workload and assembles rows,
+// averaging over Options.Repeats seeds.
+func compare(o Options, fab fabric, dist *workload.Dist, pattern workload.Pattern, load float64, names []string) []Row {
+	all := baseSchemes()
+	repeats := o.Repeats
+	if repeats < 1 {
+		repeats = 1
+	}
+	var rows []Row
+	for _, name := range names {
+		if !o.wants(name) {
+			continue
+		}
+		sc, ok := all[name]
+		if !ok {
+			continue
+		}
+		sums := make([]stats.Summary, 0, repeats)
+		for rep := 0; rep < repeats; rep++ {
+			sum, _ := execute(runSpec{
+				fab: fab, sc: sc, dist: dist, pattern: pattern,
+				load: load, flows: o.Flows, seed: o.Seed + int64(rep),
+			})
+			sums = append(sums, sum)
+		}
+		rows = append(rows, Row{Label: name, Sum: meanSummary(sums)})
+	}
+	return rows
+}
+
+// meanSummary averages summaries across repeats (metric-wise).
+func meanSummary(sums []stats.Summary) stats.Summary {
+	if len(sums) == 1 {
+		return sums[0]
+	}
+	var out stats.Summary
+	n := sim.Time(len(sums))
+	for _, s := range sums {
+		out.Flows += s.Flows
+		out.SmallCount += s.SmallCount
+		out.LargeCount += s.LargeCount
+		out.OverallAvg += s.OverallAvg
+		out.SmallAvg += s.SmallAvg
+		out.SmallP99 += s.SmallP99
+		out.LargeAvg += s.LargeAvg
+	}
+	out.Flows /= len(sums)
+	out.SmallCount /= len(sums)
+	out.LargeCount /= len(sums)
+	out.OverallAvg /= n
+	out.SmallAvg /= n
+	out.SmallP99 /= n
+	out.LargeAvg /= n
+	return out
+}

@@ -1,0 +1,151 @@
+package netsim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ppt/internal/sim"
+)
+
+// Dynamic-threshold admission tests: the low class may only occupy the
+// remaining free buffer.
+
+func dtPort(s *sim.Scheduler, cap int64) (*Port, *sink) {
+	k := &sink{s: s}
+	p := NewPort("dt", s, PortConfig{
+		Rate: 10 * Gbps, QueueCap: cap, DynamicLowThreshold: true,
+	}, k, nil)
+	return p, k
+}
+
+func TestDTLowClassBoundedByFreeSpace(t *testing.T) {
+	s := sim.NewScheduler()
+	p, _ := dtPort(s, 12_000)
+	// Fill ~half with high class (these queue behind the transmitting
+	// packet).
+	for i := 0; i < 5; i++ {
+		p.Enqueue(DataPacket(1, 0, 1, 0, MSS, 0))
+	}
+	highQ := p.QueuedHigh() // ~4*1512 = 6048 queued (one transmitting)
+	free := 12_000 - highQ
+	// Low class arrivals: admitted only while lowQueued <= free.
+	var admitted int64
+	for i := 0; i < 10; i++ {
+		before := p.QueuedLow()
+		p.Enqueue(DataPacket(2, 0, 1, 0, MSS, 6))
+		if p.QueuedLow() > before {
+			admitted++
+		}
+	}
+	if p.QueuedLow() > free {
+		t.Fatalf("low class %d exceeds free space %d", p.QueuedLow(), free)
+	}
+	if admitted == 0 {
+		t.Fatal("no low packets admitted despite free space")
+	}
+	if admitted == 10 {
+		t.Fatal("DT never rejected")
+	}
+}
+
+func TestDTHighClassUnaffected(t *testing.T) {
+	s := sim.NewScheduler()
+	p, _ := dtPort(s, 12_000)
+	// Fill the low class to its DT bound.
+	for i := 0; i < 10; i++ {
+		p.Enqueue(DataPacket(2, 0, 1, 0, MSS, 6))
+	}
+	dropsBefore := p.Stats.Drops
+	// High-class packets still admitted up to the queue cap.
+	var admitted int
+	for i := 0; i < 4; i++ {
+		before := p.QueuedHigh()
+		p.Enqueue(DataPacket(1, 0, 1, 0, MSS, 0))
+		if p.QueuedHigh() > before || p.Queued() == before {
+			admitted++
+		}
+	}
+	if admitted == 0 {
+		t.Fatalf("high class starved by DT (drops %d -> %d)", dropsBefore, p.Stats.Drops)
+	}
+}
+
+func TestDTDisabledByDefault(t *testing.T) {
+	s := sim.NewScheduler()
+	k := &sink{s: s}
+	p := NewPort("plain", s, PortConfig{Rate: 10 * Gbps, QueueCap: 12_000}, k, nil)
+	// Without DT the low class may fill the whole buffer.
+	for i := 0; i < 10; i++ {
+		p.Enqueue(DataPacket(2, 0, 1, 0, MSS, 6))
+	}
+	if p.QueuedLow() < 7_000 {
+		t.Fatalf("plain port rejected low packets early: %d", p.QueuedLow())
+	}
+}
+
+func TestDTWithSharedPool(t *testing.T) {
+	s := sim.NewScheduler()
+	pool := NewBufferPool(12_000)
+	k := &sink{s: s}
+	p := NewPort("dtpool", s, PortConfig{Rate: 10 * Gbps, DynamicLowThreshold: true}, k, pool)
+	for i := 0; i < 10; i++ {
+		p.Enqueue(DataPacket(2, 0, 1, 0, MSS, 6))
+	}
+	// lowQueued must stay within the pool's free headroom.
+	if p.QueuedLow() > 12_000-p.QueuedLow()+MSS+HeaderBytes {
+		t.Fatalf("low class %d exceeded pool DT bound", p.QueuedLow())
+	}
+	if p.Stats.DropsLow == 0 {
+		t.Fatal("DT with pool never rejected")
+	}
+}
+
+func TestFreeBufferUnlimitedPort(t *testing.T) {
+	s := sim.NewScheduler()
+	k := &sink{s: s}
+	p := NewPort("unbuffered", s, PortConfig{Rate: 10 * Gbps, DynamicLowThreshold: true}, k, nil)
+	// No cap and no pool: DT must not reject anything.
+	for i := 0; i < 50; i++ {
+		p.Enqueue(DataPacket(2, 0, 1, 0, MSS, 6))
+	}
+	if p.Stats.Drops != 0 {
+		t.Fatalf("unbuffered port dropped %d", p.Stats.Drops)
+	}
+}
+
+// Property: under any arrival mix, a DT port never lets the low class
+// exceed the remaining free space at admission time, and accounting
+// drains to zero.
+func TestPropertyDTInvariant(t *testing.T) {
+	prop := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := sim.NewScheduler()
+		k := &sink{s: s}
+		cap := int64(rng.Intn(40_000) + 8_000)
+		p := NewPort("dtp", s, PortConfig{
+			Rate: 10 * Gbps, QueueCap: cap, DynamicLowThreshold: true,
+		}, k, nil)
+		violated := false
+		for i := 0; i < int(n%80)+5; i++ {
+			prio := int8(rng.Intn(NumPriorities))
+			pay := int32(rng.Intn(MSS) + 1)
+			p.Enqueue(DataPacket(uint32(i), 0, 1, 0, pay, prio))
+			if p.QueuedLow() > cap-p.QueuedHigh() {
+				violated = true
+			}
+			if p.Queued() > cap {
+				violated = true
+			}
+			// Occasionally let the port drain a little.
+			if rng.Intn(4) == 0 {
+				s.RunUntil(s.Now() + 2*sim.Microsecond)
+			}
+		}
+		s.Run()
+		return !violated && p.Queued() == 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,117 @@
+package netsim
+
+import (
+	"fmt"
+
+	"ppt/internal/sim"
+)
+
+// Endpoint is one side of a transport flow living on a host. Data-plane
+// packets reach the receiver endpoint; control packets (ACK/grant/pull)
+// reach the sender endpoint.
+type Endpoint interface {
+	Handle(pkt *Packet)
+}
+
+// endpointKey demuxes by flow and direction: a flow's sender and receiver
+// live on different hosts, but a host can terminate both roles of
+// different flows concurrently.
+type endpointKey struct {
+	flow     uint32
+	receiver bool
+}
+
+// Host is an end system: a NIC egress port plus a per-flow endpoint
+// table.
+type Host struct {
+	id    int32
+	name  string
+	sched *sim.Scheduler
+	nic   *Port
+
+	endpoints map[endpointKey]Endpoint
+
+	// Delivered counts payload bytes handed to receiver endpoints
+	// (including duplicates), for transfer-efficiency accounting.
+	Delivered int64
+
+	// Orphans counts data payload bytes that arrived for a flow with no
+	// bound endpoint (stragglers after completion).
+	Orphans int64
+	// OrphansLow is the low-loop share of Orphans.
+	OrphansLow int64
+}
+
+// NewHost creates host id; topo builders attach the NIC with SetNIC.
+func NewHost(id int32, s *sim.Scheduler) *Host {
+	return &Host{
+		id:        id,
+		name:      fmt.Sprintf("h%d", id),
+		sched:     s,
+		endpoints: make(map[endpointKey]Endpoint),
+	}
+}
+
+// ID returns the host id used in packet headers.
+func (h *Host) ID() int32 { return h.id }
+
+// Name implements Device.
+func (h *Host) Name() string { return h.name }
+
+// Sched returns the host's scheduler.
+func (h *Host) Sched() *sim.Scheduler { return h.sched }
+
+// SetNIC installs the egress port toward the first-hop switch.
+func (h *Host) SetNIC(p *Port) { h.nic = p }
+
+// NIC returns the host's egress port.
+func (h *Host) NIC() *Port { return h.nic }
+
+// Rate returns the NIC line rate.
+func (h *Host) Rate() Rate { return h.nic.Config().Rate }
+
+// Bind registers an endpoint for one direction of a flow. Binding the
+// same key twice is a programming error.
+func (h *Host) Bind(flow uint32, receiver bool, ep Endpoint) {
+	k := endpointKey{flow, receiver}
+	if _, dup := h.endpoints[k]; dup {
+		panic(fmt.Sprintf("netsim: host %s: duplicate endpoint for flow %d (receiver=%v)", h.name, flow, receiver))
+	}
+	h.endpoints[k] = ep
+}
+
+// Unbind removes a flow endpoint (called when a flow completes).
+func (h *Host) Unbind(flow uint32, receiver bool) {
+	delete(h.endpoints, endpointKey{flow, receiver})
+}
+
+// Send stamps and enqueues a packet on the NIC.
+func (h *Host) Send(pkt *Packet) {
+	if pkt.SentAt == 0 {
+		pkt.SentAt = h.sched.Now()
+	}
+	h.nic.Enqueue(pkt)
+}
+
+// Receive implements Device: demux to the flow endpoint. Packets for
+// flows that have already completed and unbound are dropped silently —
+// stragglers (late retransmissions, duplicate ACKs) are expected.
+func (h *Host) Receive(pkt *Packet) {
+	if pkt.Dst != h.id {
+		panic(fmt.Sprintf("netsim: host %s got packet for %d", h.name, pkt.Dst))
+	}
+	if pkt.Kind == Data {
+		h.Delivered += int64(pkt.PayloadLen)
+	}
+	ep := h.endpoints[endpointKey{pkt.FlowID, pkt.Kind.ToReceiver()}]
+	if ep == nil {
+		if pkt.Kind == Data {
+			h.Orphans += int64(pkt.PayloadLen)
+			if pkt.LowLoop {
+				h.OrphansLow += int64(pkt.PayloadLen)
+			}
+		}
+		return
+	}
+	ep.Handle(pkt)
+}

@@ -1,0 +1,396 @@
+package netsim
+
+import (
+	"fmt"
+
+	"ppt/internal/sim"
+)
+
+// NumPriorities is the number of strict-priority queues per port, the
+// eight classes commodity switches expose via DSCP.
+const NumPriorities = 8
+
+// Device is anything that can accept a packet from a wire: a switch or a
+// host.
+type Device interface {
+	Name() string
+	Receive(pkt *Packet)
+}
+
+// BufferPool models a switch's shared packet memory. Ports that share a
+// pool drop (or trim) arrivals once the pool is exhausted, matching the
+// shared-buffer architecture of the Dell S4048 used in the paper's
+// testbed.
+type BufferPool struct {
+	Cap  int64
+	used int64
+	// Drops counts pool-exhaustion losses across all member ports.
+	Drops int64
+}
+
+// NewBufferPool returns a pool of the given byte capacity.
+func NewBufferPool(capBytes int64) *BufferPool {
+	return &BufferPool{Cap: capBytes}
+}
+
+// Used reports the bytes currently held.
+func (b *BufferPool) Used() int64 { return b.used }
+
+func (b *BufferPool) tryReserve(n int64) bool {
+	if b.used+n > b.Cap {
+		return false
+	}
+	b.used += n
+	return true
+}
+
+func (b *BufferPool) release(n int64) {
+	b.used -= n
+	if b.used < 0 {
+		panic("netsim: buffer pool underflow")
+	}
+}
+
+// PortConfig parameterizes one egress port.
+type PortConfig struct {
+	Rate  Rate
+	Delay sim.Time // propagation delay of the attached wire
+
+	// ECNHighK / ECNLowK are instantaneous marking thresholds in bytes
+	// for the high class (priorities < LowClassStart) and low class.
+	// Zero disables marking for that class. High-class marking compares
+	// against high-class occupancy only (lower classes cannot delay it
+	// under SP); low-class marking compares against total occupancy.
+	ECNHighK int64
+	ECNLowK  int64
+
+	// LowClassStart is the first priority belonging to the low class
+	// (default 4, the PPT split). Only used for marking decisions.
+	LowClassStart int8
+
+	// QueueCap bounds this port's total occupancy in bytes. Zero means
+	// the port is limited only by its shared pool (if any).
+	QueueCap int64
+
+	// LowClassCap, when non-zero, bounds the bytes the low class may
+	// occupy (the RC3 limited-buffer variant of Fig 24).
+	LowClassCap int64
+
+	// TrimToHeader enables NDP behaviour: a data packet that would be
+	// dropped for lack of buffer is truncated to HeaderBytes and
+	// enqueued at the highest priority instead.
+	TrimToHeader bool
+
+	// DroppableThresh, when non-zero, drops packets flagged Droppable
+	// (Aeolus unscheduled) whenever the packet's own queue already
+	// holds at least this many bytes.
+	DroppableThresh int64
+
+	// EnableINT makes the port append an INTHop record to packets that
+	// carry a non-nil INT slice (HPCC).
+	EnableINT bool
+
+	// DynamicLowThreshold enables dynamic-threshold admission for the
+	// low class (modern shared-buffer switches): a low-class packet is
+	// admitted only while the class occupies less than the remaining
+	// free buffer. The paper's evaluation models plain shared drop-tail
+	// buffers, so this is off by default.
+	DynamicLowThreshold bool
+
+	// LossProb, when non-zero, drops each arriving data packet with
+	// this probability (deterministic per-port PRNG seeded by LossSeed)
+	// — failure injection for robustness testing, modeling corruption
+	// or gray-failure loss rather than congestion.
+	LossProb float64
+	LossSeed uint64
+}
+
+// PortStats are the monotonically increasing counters a port maintains;
+// the stats package samples them.
+type PortStats struct {
+	TxBytes      int64 // bytes fully serialized out
+	TxPackets    int64
+	RxPackets    int64 // packets offered to Enqueue
+	Drops        int64
+	DropsLow     int64 // drops of low-class packets
+	Trims        int64
+	RandomDrops  int64 // injected (non-congestion) losses
+	MarksHigh    int64
+	MarksLow     int64
+	TxDataBytes  int64 // payload bytes of Data packets sent
+	TxFreshBytes int64 // payload bytes excluding retransmissions
+}
+
+// Port is one egress: eight FIFO queues drained in strict priority onto a
+// wire of fixed rate and propagation delay.
+type Port struct {
+	name   string
+	sched  *sim.Scheduler
+	cfg    PortConfig
+	peer   Device
+	pool   *BufferPool
+	queues [NumPriorities][]*Packet
+
+	bytesQueued [NumPriorities]int64
+	totalQueued int64
+	lowQueued   int64
+	busy        bool
+	lossState   uint64
+
+	Stats PortStats
+}
+
+// NewPort builds a port; peer is the device at the far end of its wire,
+// pool the (optional) shared buffer it draws from.
+func NewPort(name string, s *sim.Scheduler, cfg PortConfig, peer Device, pool *BufferPool) *Port {
+	if cfg.Rate <= 0 {
+		panic("netsim: port needs a rate")
+	}
+	if cfg.LowClassStart == 0 {
+		cfg.LowClassStart = 4
+	}
+	p := &Port{name: name, sched: s, cfg: cfg, peer: peer, pool: pool}
+	p.lossState = cfg.LossSeed*2654435761 + 0x9e3779b97f4a7c15
+	return p
+}
+
+// Name identifies the port in diagnostics.
+func (p *Port) Name() string { return p.name }
+
+// Config returns the port's configuration.
+func (p *Port) Config() PortConfig { return p.cfg }
+
+// Peer returns the device at the far end of the wire.
+func (p *Port) Peer() Device { return p.peer }
+
+// Queued reports the bytes currently buffered at this port.
+func (p *Port) Queued() int64 { return p.totalQueued }
+
+// QueuedLow reports the buffered bytes in the low class.
+func (p *Port) QueuedLow() int64 { return p.lowQueued }
+
+// QueuedHigh reports the buffered bytes in the high class.
+func (p *Port) QueuedHigh() int64 { return p.totalQueued - p.lowQueued }
+
+// QueuedAt reports the buffered bytes of one priority queue.
+func (p *Port) QueuedAt(prio int8) int64 { return p.bytesQueued[prio] }
+
+func (p *Port) isLow(prio int8) bool { return prio >= p.cfg.LowClassStart }
+
+// Enqueue offers pkt to the port, applying (in order) Aeolus selective
+// drop, buffer admission with optional NDP trimming, and ECN marking,
+// then kicks the transmitter.
+func (p *Port) Enqueue(pkt *Packet) {
+	p.Stats.RxPackets++
+	prio := pkt.Prio
+	if prio < 0 || prio >= NumPriorities {
+		panic(fmt.Sprintf("netsim: priority %d out of range", prio))
+	}
+
+	if p.cfg.DroppableThresh > 0 && pkt.Droppable && p.bytesQueued[prio] >= p.cfg.DroppableThresh {
+		p.drop(pkt)
+		return
+	}
+	if p.cfg.LossProb > 0 && pkt.Kind == Data && p.randomLoss() {
+		p.Stats.RandomDrops++
+		p.drop(pkt)
+		return
+	}
+	// Header-sized control packets (ACKs, grants, pulls, NACKs) are
+	// never dropped: commodity switches keep headroom for them, and a
+	// simulated control-plane loss would measure an artifact none of
+	// the modeled protocols guards against. Their backlog is bounded by
+	// the control-to-data ratio of the protocols themselves.
+	if pkt.Kind != Data {
+		p.forceAdmit(pkt)
+		p.mark(pkt)
+		p.push(pkt)
+		return
+	}
+	if p.cfg.LowClassCap > 0 && p.isLow(prio) && p.lowQueued+int64(pkt.WireLen) > p.cfg.LowClassCap {
+		p.drop(pkt)
+		return
+	}
+	// Dynamic-threshold admission (optional): under pressure the
+	// scavenger class's share collapses toward zero.
+	if p.cfg.DynamicLowThreshold && p.isLow(prio) {
+		if free := p.freeBuffer(); free >= 0 && p.lowQueued+int64(pkt.WireLen) > free {
+			p.drop(pkt)
+			return
+		}
+	}
+
+	if !p.admit(pkt) {
+		if p.cfg.TrimToHeader && pkt.Kind == Data && !pkt.Trimmed {
+			// NDP semantics: headers are (nearly) never lost. Trimmed
+			// headers are admitted unconditionally — their backlog is
+			// bounded by the trim ratio (64B per dropped MTU), which is
+			// how NDP switches reserve header space.
+			pkt.Trimmed = true
+			pkt.WireLen = HeaderBytes
+			pkt.Prio = 0
+			p.Stats.Trims++
+			p.forceAdmit(pkt)
+			p.mark(pkt)
+			p.push(pkt)
+			return
+		}
+		p.drop(pkt)
+		return
+	}
+	p.mark(pkt)
+	p.push(pkt)
+}
+
+// admit reserves buffer space, returning false if the packet must be
+// dropped (or trimmed).
+func (p *Port) admit(pkt *Packet) bool {
+	n := int64(pkt.WireLen)
+	if p.cfg.QueueCap > 0 && p.totalQueued+n > p.cfg.QueueCap {
+		return false
+	}
+	if p.pool != nil && !p.pool.tryReserve(n) {
+		p.pool.Drops++
+		return false
+	}
+	return true
+}
+
+// forceAdmit reserves buffer space unconditionally (trimmed headers),
+// letting the pool overshoot its cap by the header backlog.
+func (p *Port) forceAdmit(pkt *Packet) {
+	if p.pool != nil {
+		p.pool.used += int64(pkt.WireLen)
+	}
+}
+
+// randomLoss advances the port's xorshift PRNG and reports whether the
+// packet should be lost.
+func (p *Port) randomLoss() bool {
+	x := p.lossState
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	p.lossState = x
+	return float64(x>>11)/float64(1<<53) < p.cfg.LossProb
+}
+
+// freeBuffer reports the remaining buffer headroom governing low-class
+// admission, or -1 when the port is unbuffered (unlimited).
+func (p *Port) freeBuffer() int64 {
+	free := int64(-1)
+	if p.cfg.QueueCap > 0 {
+		free = p.cfg.QueueCap - p.totalQueued
+	}
+	if p.pool != nil {
+		if pf := p.pool.Cap - p.pool.Used(); free < 0 || pf < free {
+			free = pf
+		}
+	}
+	if free < 0 && (p.cfg.QueueCap > 0 || p.pool != nil) {
+		free = 0
+	}
+	return free
+}
+
+func (p *Port) mark(pkt *Packet) {
+	if !pkt.ECT || pkt.CE {
+		return
+	}
+	if p.isLow(pkt.Prio) {
+		if p.cfg.ECNLowK > 0 && p.totalQueued >= p.cfg.ECNLowK {
+			pkt.CE = true
+			p.Stats.MarksLow++
+		}
+	} else {
+		if p.cfg.ECNHighK > 0 && p.totalQueued-p.lowQueued >= p.cfg.ECNHighK {
+			pkt.CE = true
+			p.Stats.MarksHigh++
+		}
+	}
+}
+
+func (p *Port) push(pkt *Packet) {
+	prio := pkt.Prio
+	p.queues[prio] = append(p.queues[prio], pkt)
+	n := int64(pkt.WireLen)
+	p.bytesQueued[prio] += n
+	p.totalQueued += n
+	if p.isLow(prio) {
+		p.lowQueued += n
+	}
+	p.kick()
+}
+
+func (p *Port) drop(pkt *Packet) {
+	p.Stats.Drops++
+	if p.isLow(pkt.Prio) {
+		p.Stats.DropsLow++
+	}
+}
+
+// kick starts the transmitter if it is idle and a packet is waiting.
+func (p *Port) kick() {
+	if p.busy {
+		return
+	}
+	pkt := p.pop()
+	if pkt == nil {
+		return
+	}
+	p.busy = true
+	txTime := p.cfg.Rate.TxTime(int(pkt.WireLen))
+	p.sched.After(txTime, func() { p.finishTx(pkt) })
+}
+
+func (p *Port) finishTx(pkt *Packet) {
+	n := int64(pkt.WireLen)
+	if p.pool != nil {
+		p.pool.release(n)
+	}
+	p.Stats.TxBytes += n
+	p.Stats.TxPackets++
+	if pkt.Kind == Data {
+		p.Stats.TxDataBytes += int64(pkt.PayloadLen)
+		if !pkt.Retrans {
+			p.Stats.TxFreshBytes += int64(pkt.PayloadLen)
+		}
+	}
+	if p.cfg.EnableINT && pkt.INT != nil {
+		pkt.INT = append(pkt.INT, INTHop{
+			QLen:    p.totalQueued,
+			TxBytes: p.Stats.TxBytes,
+			TS:      p.sched.Now(),
+			Rate:    p.cfg.Rate,
+		})
+	}
+	peer := p.peer
+	p.sched.After(p.cfg.Delay, func() { peer.Receive(pkt) })
+	p.busy = false
+	p.kick()
+}
+
+// pop removes and returns the head of the highest-priority nonempty
+// queue, or nil.
+func (p *Port) pop() *Packet {
+	for prio := 0; prio < NumPriorities; prio++ {
+		q := p.queues[prio]
+		if len(q) == 0 {
+			continue
+		}
+		pkt := q[0]
+		q[0] = nil
+		p.queues[prio] = q[1:]
+		if len(p.queues[prio]) == 0 {
+			p.queues[prio] = nil // let the backing array go
+		}
+		n := int64(pkt.WireLen)
+		p.bytesQueued[prio] -= n
+		p.totalQueued -= n
+		if p.isLow(int8(prio)) {
+			p.lowQueued -= n
+		}
+		return pkt
+	}
+	return nil
+}

@@ -1,0 +1,65 @@
+package netsim
+
+import "fmt"
+
+// Switch is an output-queued device: arriving packets are immediately
+// placed on the egress port chosen by the forwarding table, with ECMP
+// hashing across equal-cost ports.
+type Switch struct {
+	name  string
+	salt  uint32
+	ports []*Port
+	// routes maps destination host id -> candidate egress port indexes.
+	routes map[int32][]int
+}
+
+// NewSwitch creates a switch with no ports; topo builders attach ports
+// and install routes.
+func NewSwitch(name string, salt uint32) *Switch {
+	return &Switch{name: name, salt: salt, routes: make(map[int32][]int)}
+}
+
+// Name implements Device.
+func (sw *Switch) Name() string { return sw.name }
+
+// AddPort attaches an egress port and returns its index.
+func (sw *Switch) AddPort(p *Port) int {
+	sw.ports = append(sw.ports, p)
+	return len(sw.ports) - 1
+}
+
+// Port returns the i-th egress port.
+func (sw *Switch) Port(i int) *Port { return sw.ports[i] }
+
+// Ports returns all egress ports.
+func (sw *Switch) Ports() []*Port { return sw.ports }
+
+// AddRoute appends candidate egress ports for a destination host.
+func (sw *Switch) AddRoute(dst int32, portIdx ...int) {
+	sw.routes[dst] = append(sw.routes[dst], portIdx...)
+}
+
+// Receive implements Device: route, ECMP-hash, enqueue.
+func (sw *Switch) Receive(pkt *Packet) {
+	cands := sw.routes[pkt.Dst]
+	if len(cands) == 0 {
+		panic(fmt.Sprintf("netsim: switch %s has no route to host %d", sw.name, pkt.Dst))
+	}
+	pkt.Hops++
+	idx := 0
+	if len(cands) > 1 {
+		idx = int(ecmpHash(pkt.FlowID, sw.salt) % uint32(len(cands)))
+	}
+	sw.ports[cands[idx]].Enqueue(pkt)
+}
+
+// ecmpHash spreads flows over equal-cost paths. The low-loop bit is not
+// hashed: a flow's HCP and LCP packets take the same path, as they would
+// with identical 5-tuples in a real fabric.
+func ecmpHash(flow, salt uint32) uint32 {
+	x := flow*2654435761 + salt
+	x ^= x >> 16
+	x *= 2246822519
+	x ^= x >> 13
+	return x
+}

@@ -1,0 +1,193 @@
+// Package sim implements the discrete-event engine that every other
+// subsystem in this repository is built on. Time is modelled as int64
+// picoseconds so that a single byte at 400Gbps (20ps) is exactly
+// representable; at this resolution the clock can still run for roughly
+// 106 days of simulated time before overflow.
+//
+// The engine is deliberately single-threaded: a simulation is a pure
+// function of its inputs, which makes experiments reproducible and lets
+// tests assert on exact event orderings.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is a simulated instant, in picoseconds since the start of the run.
+type Time int64
+
+// Duration unit constants. Durations share the Time type: all arithmetic
+// is plain int64 addition, which keeps the hot path allocation-free.
+const (
+	Picosecond  Time = 1
+	Nanosecond       = 1000 * Picosecond
+	Microsecond      = 1000 * Nanosecond
+	Millisecond      = 1000 * Microsecond
+	Second           = 1000 * Millisecond
+)
+
+// MaxTime is the largest representable instant.
+const MaxTime = Time(math.MaxInt64)
+
+// Seconds converts t to floating-point seconds, for reporting only.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Micros converts t to floating-point microseconds, for reporting only.
+func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
+
+// Millis converts t to floating-point milliseconds, for reporting only.
+func (t Time) Millis() float64 { return float64(t) / float64(Millisecond) }
+
+func (t Time) String() string {
+	switch {
+	case t >= Second:
+		return fmt.Sprintf("%.6gs", t.Seconds())
+	case t >= Millisecond:
+		return fmt.Sprintf("%.6gms", t.Millis())
+	case t >= Microsecond:
+		return fmt.Sprintf("%.6gus", t.Micros())
+	default:
+		return fmt.Sprintf("%dns", int64(t)/int64(Nanosecond))
+	}
+}
+
+// event is a scheduled callback. seq breaks ties so that events scheduled
+// earlier run earlier when their firing times are equal (FIFO semantics),
+// which downstream protocol code depends on for determinism.
+type event struct {
+	at    Time
+	seq   uint64
+	fn    func()
+	index int
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Scheduler owns the simulated clock and the pending-event queue.
+// The zero value is not usable; construct with NewScheduler.
+type Scheduler struct {
+	now     Time
+	seq     uint64
+	events  eventHeap
+	stopped bool
+	// Executed counts events run so far; useful as a cheap progress and
+	// runaway-simulation guard in experiments.
+	Executed uint64
+	// Limit, when non-zero, aborts Run after that many events.
+	Limit uint64
+}
+
+// NewScheduler returns an empty scheduler with the clock at zero.
+func NewScheduler() *Scheduler {
+	return &Scheduler{}
+}
+
+// Now reports the current simulated time.
+func (s *Scheduler) Now() Time { return s.now }
+
+// At schedules fn to run at absolute time t. Scheduling in the past is a
+// programming error and panics: silently reordering time would corrupt
+// every protocol invariant built above the engine.
+func (s *Scheduler) At(t Time, fn func()) *Timer {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: scheduling at %v before now %v", t, s.now))
+	}
+	e := &event{at: t, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.events, e)
+	return &Timer{s: s, e: e}
+}
+
+// After schedules fn to run d from now.
+func (s *Scheduler) After(d Time, fn func()) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	return s.At(s.now+d, fn)
+}
+
+// Timer is a handle to a scheduled event that can be cancelled.
+type Timer struct {
+	s *Scheduler
+	e *event
+}
+
+// Stop cancels the timer if it has not fired. It reports whether the
+// timer was still pending.
+func (t *Timer) Stop() bool {
+	if t == nil || t.e == nil || t.e.index < 0 {
+		return false
+	}
+	heap.Remove(&t.s.events, t.e.index)
+	t.e = nil
+	return true
+}
+
+// Pending reports whether the timer is still scheduled.
+func (t *Timer) Pending() bool { return t != nil && t.e != nil && t.e.index >= 0 }
+
+// Stop halts Run after the currently executing event returns.
+func (s *Scheduler) Stop() { s.stopped = true }
+
+// Pending reports the number of queued events.
+func (s *Scheduler) Pending() int { return len(s.events) }
+
+// Run executes events in timestamp order until the queue drains, Stop is
+// called, or the event Limit is hit. It reports the number of events run.
+func (s *Scheduler) Run() uint64 {
+	return s.RunUntil(MaxTime)
+}
+
+// RunUntil executes events with timestamps <= deadline. The clock is left
+// at the last executed event's time (or at the deadline if that is later
+// and events remain).
+func (s *Scheduler) RunUntil(deadline Time) uint64 {
+	start := s.Executed
+	s.stopped = false
+	for len(s.events) > 0 && !s.stopped {
+		next := s.events[0]
+		if next.at > deadline {
+			break
+		}
+		heap.Pop(&s.events)
+		s.now = next.at
+		s.Executed++
+		next.fn()
+		if s.Limit != 0 && s.Executed >= s.Limit {
+			break
+		}
+	}
+	if deadline != MaxTime && s.now < deadline && len(s.events) == 0 {
+		s.now = deadline
+	}
+	return s.Executed - start
+}

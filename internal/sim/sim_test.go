@@ -1,0 +1,275 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeUnits(t *testing.T) {
+	if Second != 1_000_000_000_000*Picosecond {
+		t.Fatalf("second = %d ps", int64(Second))
+	}
+	if got := (2500 * Microsecond).Millis(); got != 2.5 {
+		t.Fatalf("Millis = %v", got)
+	}
+	if got := (3 * Microsecond).Micros(); got != 3 {
+		t.Fatalf("Micros = %v", got)
+	}
+	if got := (Second / 2).Seconds(); got != 0.5 {
+		t.Fatalf("Seconds = %v", got)
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		in   Time
+		want string
+	}{
+		{2 * Second, "2s"},
+		{3 * Millisecond, "3ms"},
+		{7 * Microsecond, "7us"},
+		{500 * Nanosecond, "500ns"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("%d.String() = %q, want %q", int64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestRunOrdering(t *testing.T) {
+	s := NewScheduler()
+	var got []int
+	s.At(30*Nanosecond, func() { got = append(got, 3) })
+	s.At(10*Nanosecond, func() { got = append(got, 1) })
+	s.At(20*Nanosecond, func() { got = append(got, 2) })
+	s.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if s.Now() != 30*Nanosecond {
+		t.Fatalf("now = %v", s.Now())
+	}
+}
+
+func TestFIFOTieBreak(t *testing.T) {
+	s := NewScheduler()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(5*Nanosecond, func() { got = append(got, i) })
+	}
+	s.Run()
+	if !sort.IntsAreSorted(got) {
+		t.Fatalf("same-time events ran out of order: %v", got)
+	}
+}
+
+func TestAfterFromWithinEvent(t *testing.T) {
+	s := NewScheduler()
+	var fired Time
+	s.At(10*Nanosecond, func() {
+		s.After(5*Nanosecond, func() { fired = s.Now() })
+	})
+	s.Run()
+	if fired != 15*Nanosecond {
+		t.Fatalf("nested After fired at %v", fired)
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	s := NewScheduler()
+	s.At(10*Nanosecond, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		s.At(5*Nanosecond, func() {})
+	})
+	s.Run()
+}
+
+func TestNegativeAfterClampsToNow(t *testing.T) {
+	s := NewScheduler()
+	ran := false
+	s.After(-5*Nanosecond, func() { ran = true })
+	s.Run()
+	if !ran {
+		t.Fatal("negative After never ran")
+	}
+	if s.Now() != 0 {
+		t.Fatalf("now = %v, want 0", s.Now())
+	}
+}
+
+func TestTimerStop(t *testing.T) {
+	s := NewScheduler()
+	ran := false
+	tm := s.After(10*Nanosecond, func() { ran = true })
+	if !tm.Pending() {
+		t.Fatal("timer should be pending")
+	}
+	if !tm.Stop() {
+		t.Fatal("Stop returned false for pending timer")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop returned true")
+	}
+	s.Run()
+	if ran {
+		t.Fatal("stopped timer fired")
+	}
+}
+
+func TestTimerStopAfterFire(t *testing.T) {
+	s := NewScheduler()
+	tm := s.After(1*Nanosecond, func() {})
+	s.Run()
+	if tm.Pending() {
+		t.Fatal("fired timer still pending")
+	}
+	if tm.Stop() {
+		t.Fatal("Stop on fired timer returned true")
+	}
+}
+
+func TestStopHaltsRun(t *testing.T) {
+	s := NewScheduler()
+	var count int
+	for i := 1; i <= 10; i++ {
+		s.At(Time(i)*Nanosecond, func() {
+			count++
+			if count == 3 {
+				s.Stop()
+			}
+		})
+	}
+	s.Run()
+	if count != 3 {
+		t.Fatalf("ran %d events after Stop, want 3", count)
+	}
+	if s.Pending() != 7 {
+		t.Fatalf("pending = %d, want 7", s.Pending())
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	s := NewScheduler()
+	var count int
+	for i := 1; i <= 10; i++ {
+		s.At(Time(i)*Microsecond, func() { count++ })
+	}
+	n := s.RunUntil(5 * Microsecond)
+	if n != 5 || count != 5 {
+		t.Fatalf("ran %d/%d events, want 5", n, count)
+	}
+	if s.Now() != 5*Microsecond {
+		t.Fatalf("now = %v", s.Now())
+	}
+	s.Run()
+	if count != 10 {
+		t.Fatalf("total = %d, want 10", count)
+	}
+}
+
+func TestRunUntilAdvancesClockWhenIdle(t *testing.T) {
+	s := NewScheduler()
+	s.RunUntil(3 * Millisecond)
+	if s.Now() != 3*Millisecond {
+		t.Fatalf("idle RunUntil left clock at %v", s.Now())
+	}
+}
+
+func TestEventLimit(t *testing.T) {
+	s := NewScheduler()
+	s.Limit = 4
+	var count int
+	for i := 1; i <= 10; i++ {
+		s.At(Time(i)*Nanosecond, func() { count++ })
+	}
+	s.Run()
+	if count != 4 {
+		t.Fatalf("limit ignored: ran %d", count)
+	}
+}
+
+// Property: for any set of delays, events execute in nondecreasing time
+// order and the executed count matches the scheduled count.
+func TestPropertyOrdering(t *testing.T) {
+	prop := func(delays []uint16) bool {
+		if len(delays) == 0 {
+			return true
+		}
+		s := NewScheduler()
+		var times []Time
+		for _, d := range delays {
+			s.After(Time(d)*Nanosecond, func() { times = append(times, s.Now()) })
+		}
+		s.Run()
+		if len(times) != len(delays) {
+			return false
+		}
+		for i := 1; i < len(times); i++ {
+			if times[i] < times[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: cancelling a random subset of timers fires exactly the others.
+func TestPropertyCancellation(t *testing.T) {
+	prop := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := NewScheduler()
+		total := int(n%64) + 1
+		fired := make([]bool, total)
+		timers := make([]*Timer, total)
+		for i := 0; i < total; i++ {
+			i := i
+			timers[i] = s.After(Time(rng.Intn(1000))*Nanosecond, func() { fired[i] = true })
+		}
+		cancelled := make([]bool, total)
+		for i := 0; i < total; i++ {
+			if rng.Intn(2) == 0 {
+				cancelled[i] = timers[i].Stop()
+			}
+		}
+		s.Run()
+		for i := 0; i < total; i++ {
+			if fired[i] == cancelled[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkScheduler(b *testing.B) {
+	s := NewScheduler()
+	b.ReportAllocs()
+	var fn func()
+	remaining := b.N
+	fn = func() {
+		remaining--
+		if remaining > 0 {
+			s.After(Nanosecond, fn)
+		}
+	}
+	s.After(Nanosecond, fn)
+	b.ResetTimer()
+	s.Run()
+}

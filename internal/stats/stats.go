@@ -1,0 +1,281 @@
+// Package stats collects the measurements every figure in the paper
+// reports: flow completion times split at the 100KB small/large boundary
+// (mean and tail), link utilization sampled on a fixed period, per-class
+// switch buffer occupancy, and transfer efficiency (received vs sent
+// bytes).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"ppt/internal/netsim"
+	"ppt/internal/sim"
+)
+
+// SmallFlowMax is the paper's small/large boundary: flows of (0, 100KB]
+// are "small".
+const SmallFlowMax = 100_000
+
+// FCTRecord is one completed flow.
+type FCTRecord struct {
+	FlowID uint32
+	Size   int64
+	Start  sim.Time
+	End    sim.Time
+}
+
+// FCT returns the flow completion time.
+func (r FCTRecord) FCT() sim.Time { return r.End - r.Start }
+
+// Collector accumulates flow completions.
+type Collector struct {
+	records []FCTRecord
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector { return &Collector{} }
+
+// Complete records one finished flow.
+func (c *Collector) Complete(flowID uint32, size int64, start, end sim.Time) {
+	if end < start {
+		panic("stats: flow completed before it started")
+	}
+	c.records = append(c.records, FCTRecord{flowID, size, start, end})
+}
+
+// Count reports completed flows.
+func (c *Collector) Count() int { return len(c.records) }
+
+// Records returns the raw completions.
+func (c *Collector) Records() []FCTRecord { return c.records }
+
+// Summary is the per-figure FCT breakdown.
+type Summary struct {
+	Flows int
+
+	OverallAvg sim.Time // mean FCT, all flows
+
+	SmallCount int
+	SmallAvg   sim.Time // mean FCT, (0, 100KB]
+	SmallP99   sim.Time // 99th percentile FCT, (0, 100KB]
+
+	LargeCount int
+	LargeAvg   sim.Time // mean FCT, (100KB, inf)
+}
+
+// Summarize computes the standard breakdown.
+func (c *Collector) Summarize() Summary {
+	var s Summary
+	s.Flows = len(c.records)
+	if s.Flows == 0 {
+		return s
+	}
+	var overall, small, large float64
+	var smallFCTs []float64
+	for _, r := range c.records {
+		f := float64(r.FCT())
+		overall += f
+		if r.Size <= SmallFlowMax {
+			small += f
+			smallFCTs = append(smallFCTs, f)
+		} else {
+			large += f
+		}
+	}
+	s.OverallAvg = sim.Time(overall / float64(s.Flows))
+	s.SmallCount = len(smallFCTs)
+	s.LargeCount = s.Flows - s.SmallCount
+	if s.SmallCount > 0 {
+		s.SmallAvg = sim.Time(small / float64(s.SmallCount))
+		s.SmallP99 = sim.Time(Percentile(smallFCTs, 0.99))
+	}
+	if s.LargeCount > 0 {
+		s.LargeAvg = sim.Time(large / float64(s.LargeCount))
+	}
+	return s
+}
+
+func (s Summary) String() string {
+	return fmt.Sprintf("flows=%d overall=%v small(avg=%v p99=%v n=%d) large(avg=%v n=%d)",
+		s.Flows, s.OverallAvg, s.SmallAvg, s.SmallP99, s.SmallCount, s.LargeAvg, s.LargeCount)
+}
+
+// Percentile returns the p-quantile (0 < p <= 1) of xs by
+// nearest-rank on a sorted copy. Returns 0 for empty input.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	rank := int(math.Ceil(p*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
+// UtilSample is one utilization observation.
+type UtilSample struct {
+	At   sim.Time
+	Util float64 // fraction of line rate over the last period
+}
+
+// UtilSampler periodically samples the utilization of a port (Fig 1/20:
+// 100µs bins on the bottleneck link).
+type UtilSampler struct {
+	Samples []UtilSample
+	stop    bool
+}
+
+// SampleUtilization arms a sampler on port every period until the
+// returned stop function is called (or the scheduler drains).
+func SampleUtilization(s *sim.Scheduler, port *netsim.Port, period sim.Time) *UtilSampler {
+	us := &UtilSampler{}
+	rate := port.Config().Rate
+	bytesPerPeriod := float64(rate) / 8 * period.Seconds()
+	last := port.Stats.TxBytes
+	var tick func()
+	tick = func() {
+		if us.stop {
+			return
+		}
+		cur := port.Stats.TxBytes
+		us.Samples = append(us.Samples, UtilSample{
+			At:   s.Now(),
+			Util: float64(cur-last) / bytesPerPeriod,
+		})
+		last = cur
+		s.After(period, tick)
+	}
+	s.After(period, tick)
+	return us
+}
+
+// Stop halts future sampling.
+func (u *UtilSampler) Stop() { u.stop = true }
+
+// Mean returns the average utilization across samples in [from, to).
+func (u *UtilSampler) Mean(from, to sim.Time) float64 {
+	var sum float64
+	var n int
+	for _, s := range u.Samples {
+		if s.At >= from && s.At < to {
+			sum += s.Util
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// Min returns the lowest utilization across samples in [from, to).
+func (u *UtilSampler) Min(from, to sim.Time) float64 {
+	min := math.Inf(1)
+	for _, s := range u.Samples {
+		if s.At >= from && s.At < to {
+			min = math.Min(min, s.Util)
+		}
+	}
+	if math.IsInf(min, 1) {
+		return 0
+	}
+	return min
+}
+
+// BufferSample is one occupancy observation of a port, split by class.
+type BufferSample struct {
+	At        sim.Time
+	HighBytes int64
+	LowBytes  int64
+}
+
+// BufferSampler periodically samples a port's queue occupancy (Fig 28).
+type BufferSampler struct {
+	Samples []BufferSample
+	stop    bool
+}
+
+// SampleBuffers arms an occupancy sampler on port every period.
+func SampleBuffers(s *sim.Scheduler, port *netsim.Port, period sim.Time) *BufferSampler {
+	bs := &BufferSampler{}
+	var tick func()
+	tick = func() {
+		if bs.stop {
+			return
+		}
+		bs.Samples = append(bs.Samples, BufferSample{
+			At:        s.Now(),
+			HighBytes: port.QueuedHigh(),
+			LowBytes:  port.QueuedLow(),
+		})
+		s.After(period, tick)
+	}
+	s.After(period, tick)
+	return bs
+}
+
+// Stop halts future sampling.
+func (b *BufferSampler) Stop() { b.stop = true }
+
+// MeanOccupancy returns the average (high, low) occupancy in bytes.
+func (b *BufferSampler) MeanOccupancy() (high, low float64) {
+	if len(b.Samples) == 0 {
+		return 0, 0
+	}
+	for _, s := range b.Samples {
+		high += float64(s.HighBytes)
+		low += float64(s.LowBytes)
+	}
+	n := float64(len(b.Samples))
+	return high / n, low / n
+}
+
+// Efficiency summarizes transfer efficiency (Fig 29): the ratio of
+// distinct payload bytes delivered to payload bytes put on the wire.
+type Efficiency struct {
+	SentPayload     int64 // payload bytes transmitted by host NICs
+	SentLowPayload  int64 // of which low-loop (LCP) bytes
+	UsefulDelivered int64 // distinct application bytes completed
+	UsefulLow       int64 // distinct bytes delivered by the low loop
+}
+
+// Overall returns delivered/sent, in [0,1] when no accounting bugs.
+func (e Efficiency) Overall() float64 {
+	if e.SentPayload == 0 {
+		return 0
+	}
+	return float64(e.UsefulDelivered) / float64(e.SentPayload)
+}
+
+// LowLoop returns the low-priority loop's efficiency.
+func (e Efficiency) LowLoop() float64 {
+	if e.SentLowPayload == 0 {
+		return 0
+	}
+	return float64(e.UsefulLow) / float64(e.SentLowPayload)
+}
+
+// Table renders rows of labelled summaries as an aligned text table —
+// the form every experiment prints.
+func Table(title string, rows []struct {
+	Label string
+	Sum   Summary
+}) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%-18s %12s %12s %12s %12s %8s\n", "scheme", "overall-avg", "small-avg", "small-p99", "large-avg", "flows")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-18s %12s %12s %12s %12s %8d\n",
+			r.Label, r.Sum.OverallAvg, r.Sum.SmallAvg, r.Sum.SmallP99, r.Sum.LargeAvg, r.Sum.Flows)
+	}
+	return b.String()
+}

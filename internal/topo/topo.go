@@ -1,0 +1,290 @@
+// Package topo builds the three fabric shapes the paper evaluates on:
+// the CloudLab-style single-switch testbed (15 hosts, 10G, 80µs RTT), the
+// 144-server leaf–spine simulation fabric (40/100G oversubscribed 1.4:1,
+// 100/400G variant, and the non-oversubscribed 10/40G variant), and a
+// 2-sender dumbbell used for the link-utilization microbenchmarks.
+package topo
+
+import (
+	"fmt"
+
+	"ppt/internal/netsim"
+	"ppt/internal/sim"
+)
+
+// Config parameterizes a fabric build. Zero values get sensible defaults
+// from each builder.
+type Config struct {
+	HostRate netsim.Rate // edge link speed
+	CoreRate netsim.Rate // leaf–spine link speed
+
+	// LinkDelay is the one-way propagation delay of every wire.
+	LinkDelay sim.Time
+
+	// ECNHighK / ECNLowK are switch marking thresholds in bytes for the
+	// high (P0–P3) and low (P4–P7) classes. Zero disables marking.
+	ECNHighK int64
+	ECNLowK  int64
+
+	// PerPortBuffer caps each switch port's occupancy (simulation
+	// profile: 120KB/port). Zero means uncapped per port.
+	PerPortBuffer int64
+
+	// SharedBuffer, when non-zero, creates one shared pool per switch
+	// (testbed profile: 50MB for the whole S4048).
+	SharedBuffer int64
+
+	// TrimToHeader, DroppableThresh, LowClassCap, EnableINT and
+	// DynamicLowThreshold pass through to every switch port (see
+	// netsim.PortConfig).
+	TrimToHeader        bool
+	DroppableThresh     int64
+	LowClassCap         int64
+	EnableINT           bool
+	DynamicLowThreshold bool
+
+	// LossProb injects random per-packet data loss at every switch
+	// egress (failure injection; 0 in all paper experiments).
+	LossProb float64
+}
+
+// Network is a built fabric: hosts wired through switches, sharing one
+// scheduler.
+type Network struct {
+	Sched    *sim.Scheduler
+	Hosts    []*netsim.Host
+	Switches []*netsim.Switch
+	Cfg      Config
+
+	// BaseRTT is the zero-load round-trip time between the two most
+	// distant hosts, including per-hop serialization of one MSS packet.
+	BaseRTT sim.Time
+
+	// BottleneckRate is the slowest link a flow can traverse.
+	BottleneckRate netsim.Rate
+}
+
+// BDP returns the bandwidth-delay product of the fabric in bytes.
+func (n *Network) BDP() int {
+	return netsim.BDPBytes(n.BottleneckRate, n.BaseRTT)
+}
+
+// SwitchPorts returns every switch egress port (for buffer sampling).
+func (n *Network) SwitchPorts() []*netsim.Port {
+	var out []*netsim.Port
+	for _, sw := range n.Switches {
+		out = append(out, sw.Ports()...)
+	}
+	return out
+}
+
+// switchPortCfg derives the netsim.PortConfig for a switch egress.
+func (c Config) switchPortCfg(rate netsim.Rate) netsim.PortConfig {
+	return netsim.PortConfig{
+		Rate:                rate,
+		Delay:               c.LinkDelay,
+		ECNHighK:            c.ECNHighK,
+		ECNLowK:             c.ECNLowK,
+		QueueCap:            c.PerPortBuffer,
+		TrimToHeader:        c.TrimToHeader,
+		DroppableThresh:     c.DroppableThresh,
+		LowClassCap:         c.LowClassCap,
+		EnableINT:           c.EnableINT,
+		DynamicLowThreshold: c.DynamicLowThreshold,
+		LossProb:            c.LossProb,
+	}
+}
+
+// nicCfg configures host egress. NICs mark ECN at the same thresholds
+// as switches: when the first bottleneck is the host's own line rate,
+// the queue forms in the host (where a real kernel's qdisc/TSQ applies
+// backpressure); without marking there, a sender facing an equal-rate
+// path would inflate its window without bound.
+func (c Config) nicCfg(rate netsim.Rate) netsim.PortConfig {
+	return netsim.PortConfig{
+		Rate:      rate,
+		Delay:     c.LinkDelay,
+		EnableINT: c.EnableINT,
+		ECNHighK:  c.ECNHighK,
+		ECNLowK:   c.ECNLowK,
+	}
+}
+
+// Star builds n hosts hanging off a single switch — the paper's testbed
+// shape. Defaults: 10G links, 20µs wire delay (80µs base RTT), 50MB
+// shared buffer.
+func Star(n int, cfg Config) *Network {
+	if cfg.HostRate == 0 {
+		cfg.HostRate = 10 * netsim.Gbps
+	}
+	if cfg.LinkDelay == 0 {
+		cfg.LinkDelay = 20 * sim.Microsecond
+	}
+	s := sim.NewScheduler()
+	net := &Network{Sched: s, Cfg: cfg, BottleneckRate: cfg.HostRate}
+	sw := netsim.NewSwitch("sw0", 1)
+	net.Switches = []*netsim.Switch{sw}
+	var pool *netsim.BufferPool
+	if cfg.SharedBuffer > 0 {
+		pool = netsim.NewBufferPool(cfg.SharedBuffer)
+	}
+	for i := 0; i < n; i++ {
+		h := netsim.NewHost(int32(i), s)
+		nic := netsim.NewPort(fmt.Sprintf("h%d-nic", i), s, cfg.nicCfg(cfg.HostRate), sw, nil)
+		h.SetNIC(nic)
+		down := netsim.NewPort(fmt.Sprintf("sw0-p%d", i), s, cfg.switchPortCfg(cfg.HostRate), h, pool)
+		sw.AddRoute(int32(i), sw.AddPort(down))
+		net.Hosts = append(net.Hosts, h)
+	}
+	// host -> switch -> host: 2 wires each way plus serialization.
+	net.BaseRTT = 4*cfg.LinkDelay + 2*cfg.HostRate.TxTime(netsim.MSS+netsim.HeaderBytes) + 2*cfg.HostRate.TxTime(netsim.HeaderBytes)
+	return net
+}
+
+// LeafSpine builds hostsPerLeaf×leaves hosts under `leaves` leaf switches
+// fully meshed to `spines` spine switches. The paper's oversubscribed
+// fabric is LeafSpine(9, 4, 16) at 40/100G: 16×40G = 640G of host
+// bandwidth vs 4×100G = 400G of uplink per leaf († 1.4:1 hidden in the
+// paper's "144 servers, 9 leaf, 4 spine" with 40/100G links). Defaults:
+// 40G/100G, 1µs wires, 120KB per-port buffer.
+func LeafSpine(leaves, spines, hostsPerLeaf int, cfg Config) *Network {
+	if cfg.HostRate == 0 {
+		cfg.HostRate = 40 * netsim.Gbps
+	}
+	if cfg.CoreRate == 0 {
+		cfg.CoreRate = 100 * netsim.Gbps
+	}
+	if cfg.LinkDelay == 0 {
+		cfg.LinkDelay = 1 * sim.Microsecond
+	}
+	s := sim.NewScheduler()
+	net := &Network{Sched: s, Cfg: cfg, BottleneckRate: cfg.HostRate}
+	if cfg.CoreRate < cfg.HostRate {
+		net.BottleneckRate = cfg.CoreRate
+	}
+
+	leafSW := make([]*netsim.Switch, leaves)
+	spineSW := make([]*netsim.Switch, spines)
+	for i := range leafSW {
+		leafSW[i] = netsim.NewSwitch(fmt.Sprintf("leaf%d", i), uint32(i+1))
+		net.Switches = append(net.Switches, leafSW[i])
+	}
+	for i := range spineSW {
+		spineSW[i] = netsim.NewSwitch(fmt.Sprintf("spine%d", i), uint32(100+i))
+		net.Switches = append(net.Switches, spineSW[i])
+	}
+
+	for li, leaf := range leafSW {
+		var pool *netsim.BufferPool
+		if cfg.SharedBuffer > 0 {
+			pool = netsim.NewBufferPool(cfg.SharedBuffer)
+		}
+		// Downlinks to hosts.
+		for hi := 0; hi < hostsPerLeaf; hi++ {
+			id := int32(li*hostsPerLeaf + hi)
+			h := netsim.NewHost(id, s)
+			nic := netsim.NewPort(fmt.Sprintf("h%d-nic", id), s, cfg.nicCfg(cfg.HostRate), leaf, nil)
+			h.SetNIC(nic)
+			down := netsim.NewPort(fmt.Sprintf("leaf%d-h%d", li, hi), s, cfg.switchPortCfg(cfg.HostRate), h, pool)
+			leaf.AddRoute(id, leaf.AddPort(down))
+			net.Hosts = append(net.Hosts, h)
+		}
+		// Uplinks to every spine; remote hosts ECMP across them.
+		var uplinks []int
+		for si, spine := range spineSW {
+			up := netsim.NewPort(fmt.Sprintf("leaf%d-spine%d", li, si), s, cfg.switchPortCfg(cfg.CoreRate), spine, pool)
+			uplinks = append(uplinks, leaf.AddPort(up))
+		}
+		for other := 0; other < leaves; other++ {
+			if other == li {
+				continue
+			}
+			for hi := 0; hi < hostsPerLeaf; hi++ {
+				leaf.AddRoute(int32(other*hostsPerLeaf+hi), uplinks...)
+			}
+		}
+	}
+	// Spine downlinks: one port per leaf, routing that leaf's hosts.
+	for _, spine := range spineSW {
+		var pool *netsim.BufferPool
+		if cfg.SharedBuffer > 0 {
+			pool = netsim.NewBufferPool(cfg.SharedBuffer)
+		}
+		for li, leaf := range leafSW {
+			down := netsim.NewPort(fmt.Sprintf("%s-%s", spine.Name(), leaf.Name()), s, cfg.switchPortCfg(cfg.CoreRate), leaf, pool)
+			idx := spine.AddPort(down)
+			for hi := 0; hi < hostsPerLeaf; hi++ {
+				spine.AddRoute(int32(li*hostsPerLeaf+hi), idx)
+			}
+		}
+	}
+	// Worst case: host→leaf→spine→leaf→host, 4 wires each way.
+	mtu := netsim.MSS + netsim.HeaderBytes
+	net.BaseRTT = 8*cfg.LinkDelay +
+		2*cfg.HostRate.TxTime(mtu) + 2*cfg.CoreRate.TxTime(mtu) +
+		2*cfg.HostRate.TxTime(netsim.HeaderBytes) + 2*cfg.CoreRate.TxTime(netsim.HeaderBytes)
+	return net
+}
+
+// Dumbbell builds `senders` hosts plus one receiver on a single switch;
+// the receiver downlink is the bottleneck. Used by the Fig 1/20/28/29
+// microbenchmarks (2 senders, 40G, 120KB buffer).
+func Dumbbell(senders int, cfg Config) *Network {
+	if cfg.HostRate == 0 {
+		cfg.HostRate = 40 * netsim.Gbps
+	}
+	if cfg.LinkDelay == 0 {
+		cfg.LinkDelay = 1 * sim.Microsecond
+	}
+	return Star(senders+1, cfg)
+}
+
+// Paper-profile helpers ------------------------------------------------
+
+// TestbedProfile reproduces Table 3: 15 hosts on a 10G switch with 50MB
+// shared buffer, 80µs base RTT, K_H=100KB, K_L=80KB.
+func TestbedProfile() *Network {
+	return Star(15, Config{
+		HostRate:     10 * netsim.Gbps,
+		LinkDelay:    20 * sim.Microsecond,
+		SharedBuffer: 50 << 20,
+		ECNHighK:     100_000,
+		ECNLowK:      80_000,
+	})
+}
+
+// SimProfile reproduces §6.2: 144 servers, 9 leaves, 4 spines, 40/100G,
+// 120KB per-port buffer, K_H=96KB, K_L=86KB.
+func SimProfile() *Network {
+	return LeafSpine(9, 4, 16, Config{
+		HostRate:      40 * netsim.Gbps,
+		CoreRate:      100 * netsim.Gbps,
+		PerPortBuffer: 120_000,
+		ECNHighK:      96_000,
+		ECNLowK:       86_000,
+	})
+}
+
+// FastSimProfile is the 100/400G variant of Fig 22. ECN thresholds scale
+// with the 2.5× higher line rate at equal base RTT.
+func FastSimProfile() *Network {
+	return LeafSpine(9, 4, 16, Config{
+		HostRate:      100 * netsim.Gbps,
+		CoreRate:      400 * netsim.Gbps,
+		PerPortBuffer: 300_000,
+		ECNHighK:      240_000,
+		ECNLowK:       215_000,
+	})
+}
+
+// NonOversubscribedProfile reproduces appendix E: 9 leaves × 16 hosts at
+// 10G with 4 spines at 40G (16×10G = 4×40G, 1:1).
+func NonOversubscribedProfile() *Network {
+	return LeafSpine(9, 4, 16, Config{
+		HostRate:      10 * netsim.Gbps,
+		CoreRate:      40 * netsim.Gbps,
+		PerPortBuffer: 120_000,
+		ECNHighK:      30_000,
+		ECNLowK:       25_000,
+	})
+}

@@ -1,0 +1,17 @@
+package transport
+
+// AckMeta is the acknowledgment payload shared by the DCTCP-family
+// transports (DCTCP, PPT, RC3, PIAS, Swift). It rides in Packet.Meta on
+// Ack packets; the cumulative acknowledgment itself rides in Packet.Seq.
+type AckMeta struct {
+	// LowSeqs are the byte offsets of the opportunistic (low-loop) data
+	// packets this low-priority ACK covers; LowN of them are valid.
+	// A PPT receiver coalesces two opportunistic arrivals per ACK.
+	LowSeqs [2]int64
+	LowLens [2]int32
+	LowN    int
+
+	// TailFrontier is the receiver's contiguous-suffix start, letting
+	// the sender cap its high-loop transmissions.
+	TailFrontier int64
+}

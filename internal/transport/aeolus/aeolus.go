@@ -1,0 +1,323 @@
+// Package aeolus implements Aeolus [17], the paper's "building block for
+// proactive transports", integrated with Homa as in the paper's
+// evaluation. Like Homa, receivers drive scheduled transmission with
+// grants; unlike Homa, the first-RTT unscheduled packets are sent at
+// line rate in a *droppable* low-priority class that switches discard
+// early under buildup (selective dropping), and dropped unscheduled
+// bytes are recovered by scheduled grants carrying selective
+// retransmission requests instead of timeouts.
+package aeolus
+
+import (
+	"sort"
+
+	"ppt/internal/netsim"
+	"ppt/internal/sim"
+	"ppt/internal/transport"
+)
+
+// Config tunes Aeolus.
+type Config struct {
+	// RTTBytes is the unscheduled allowance / grant window.
+	RTTBytes int64
+	// Overcommit matches Homa's setting (2 in the paper).
+	Overcommit int
+	// UnschedPrio is the droppable class for pre-credit packets
+	// (default P6: below every scheduled priority).
+	UnschedPrio int8
+}
+
+func (c Config) withDefaults(env *transport.Env) Config {
+	if c.RTTBytes == 0 {
+		c.RTTBytes = int64(env.BDP())
+	}
+	if c.Overcommit == 0 {
+		c.Overcommit = 2
+	}
+	if c.UnschedPrio == 0 {
+		c.UnschedPrio = 6
+	}
+	return c
+}
+
+type dataInfo struct {
+	Size int64
+}
+
+// grantInfo is a scheduled credit; Resend, when non-zero-length, asks
+// the sender to also retransmit that missing range (selective
+// retransmission of lost unscheduled bytes).
+type grantInfo struct {
+	UpTo      int64
+	Prio      int8
+	ResendSeq int64
+	ResendLen int64
+}
+
+// Debug counters for diagnostic harnesses.
+var Debug struct {
+	HoleReqs, RetryReqs, Keepalives int64
+	ResendBytes, GrantBytes         int64
+}
+
+// Proto is the Aeolus protocol factory; one instance per run.
+type Proto struct {
+	Cfg      Config
+	managers map[int32]*rxManager
+}
+
+// New builds an Aeolus protocol instance.
+func New(cfg Config) *Proto {
+	return &Proto{Cfg: cfg, managers: make(map[int32]*rxManager)}
+}
+
+// Name implements transport.Protocol.
+func (*Proto) Name() string { return "aeolus" }
+
+// Start implements transport.Protocol.
+func (p *Proto) Start(env *transport.Env, f *transport.Flow) {
+	cfg := p.Cfg.withDefaults(env)
+	mgr := p.managers[f.Dst.ID()]
+	if mgr == nil {
+		mgr = &rxManager{env: env, cfg: cfg, flows: make(map[uint32]*rxFlow)}
+		p.managers[f.Dst.ID()] = mgr
+	}
+	rx := &rxFlow{mgr: mgr, f: f, r: transport.NewReassembly(f.Size), granted: min64(cfg.RTTBytes, f.Size)}
+	mgr.flows[f.ID] = rx
+	f.Dst.Bind(f.ID, true, rx)
+
+	s := &sender{env: env, f: f, cfg: cfg}
+	f.Src.Bind(f.ID, false, s)
+	s.launch()
+}
+
+type sender struct {
+	env *transport.Env
+	f   *transport.Flow
+	cfg Config
+
+	sentNext int64
+	keep     *sim.Timer
+	gotRx    bool
+}
+
+func (s *sender) launch() {
+	unsched := min64(s.cfg.RTTBytes, s.f.Size)
+	first := true
+	for s.sentNext < unsched {
+		end := min64(s.sentNext+netsim.MSS, unsched)
+		pkt := netsim.DataPacket(s.f.ID, s.f.Src.ID(), s.f.Dst.ID(), s.sentNext, int32(end-s.sentNext), s.cfg.UnschedPrio)
+		pkt.Meta = &dataInfo{Size: s.f.Size}
+		if first {
+			// The probe packet is protected so the receiver always
+			// learns the flow exists; the rest may be shed.
+			pkt.Prio = 1
+			first = false
+		} else {
+			pkt.Droppable = true
+		}
+		s.f.Src.Send(pkt)
+		s.sentNext = end
+	}
+	s.armKeepalive()
+}
+
+func (s *sender) armKeepalive() {
+	s.keep = s.env.Sched().After(s.env.RTO(), func() {
+		if s.f.Done() || s.gotRx {
+			return
+		}
+		pkt := netsim.DataPacket(s.f.ID, s.f.Src.ID(), s.f.Dst.ID(), 0, int32(min64(netsim.MSS, s.f.Size)), 1)
+		pkt.Meta = &dataInfo{Size: s.f.Size}
+		pkt.Retrans = true
+		Debug.Keepalives++
+		s.f.Src.Send(pkt)
+		s.armKeepalive()
+	})
+}
+
+// Handle implements netsim.Endpoint (grants).
+func (s *sender) Handle(pkt *netsim.Packet) {
+	if s.f.Done() || pkt.Kind != netsim.Grant {
+		return
+	}
+	s.gotRx = true
+	gi := pkt.Meta.(*grantInfo)
+	// Selective retransmission of shed unscheduled bytes rides first,
+	// at the scheduled priority.
+	if gi.ResendLen > 0 {
+		end := min64(gi.ResendSeq+gi.ResendLen, s.f.Size)
+		Debug.ResendBytes += end - gi.ResendSeq
+		for seq := gi.ResendSeq; seq < end; seq += netsim.MSS {
+			n := int32(min64(seq+netsim.MSS, end) - seq)
+			rp := netsim.DataPacket(s.f.ID, s.f.Src.ID(), s.f.Dst.ID(), seq, n, gi.Prio)
+			rp.Retrans = true
+			rp.Meta = &dataInfo{Size: s.f.Size}
+			s.f.Src.Send(rp)
+		}
+	}
+	limit := min64(gi.UpTo, s.f.Size)
+	if limit > s.sentNext {
+		Debug.GrantBytes += limit - s.sentNext
+	}
+	for s.sentNext < limit {
+		end := min64(s.sentNext+netsim.MSS, limit)
+		pkt := netsim.DataPacket(s.f.ID, s.f.Src.ID(), s.f.Dst.ID(), s.sentNext, int32(end-s.sentNext), gi.Prio)
+		pkt.Meta = &dataInfo{Size: s.f.Size}
+		s.f.Src.Send(pkt)
+		s.sentNext = end
+	}
+}
+
+type rxManager struct {
+	env   *transport.Env
+	cfg   Config
+	flows map[uint32]*rxFlow
+}
+
+func (m *rxManager) pump() {
+	active := make([]*rxFlow, 0, len(m.flows))
+	for _, rx := range m.flows {
+		if rx.granted < rx.f.Size || !rx.r.Complete() {
+			active = append(active, rx)
+		}
+	}
+	if len(active) == 0 {
+		return
+	}
+	sort.Slice(active, func(i, j int) bool {
+		ri := active[i].f.Size - active[i].r.Received()
+		rj := active[j].f.Size - active[j].r.Received()
+		if ri != rj {
+			return ri < rj
+		}
+		return active[i].f.ID < active[j].f.ID
+	})
+	k := m.cfg.Overcommit
+	if k > len(active) {
+		k = len(active)
+	}
+	for rank := 0; rank < k; rank++ {
+		rx := active[rank]
+		prio := int8(2 + rank)
+		if prio > 5 {
+			prio = 5
+		}
+		rx.grantSome(prio)
+	}
+}
+
+type rxFlow struct {
+	mgr     *rxManager
+	f       *transport.Flow
+	r       *transport.Reassembly
+	granted int64
+	// reqd tracks hole bytes whose retransmission was already requested;
+	// the retry timer clears it so persistent losses are re-requested on
+	// an RTO cadence rather than per arrival (which would turn one shed
+	// burst into a retransmission storm).
+	reqd  transport.IntervalSet
+	retry *sim.Timer
+}
+
+// grantSome issues credits while this flow's outstanding window allows.
+// Retransmissions of shed bytes are grant-clocked: at most one hole
+// packet is requested per pump, so recovery proceeds at roughly the
+// arrival rate instead of blasting line-rate resend bursts.
+func (rx *rxFlow) grantSome(prio int8) {
+	if seq, n := rx.nextHolePacket(); n > 0 {
+		Debug.HoleReqs++
+		rx.reqd.Add(seq, seq+n)
+		g := netsim.CtrlPacket(netsim.Grant, rx.f.ID, rx.f.Dst.ID(), rx.f.Src.ID(), 0)
+		g.Meta = &grantInfo{UpTo: rx.granted, Prio: prio, ResendSeq: seq, ResendLen: n}
+		rx.f.Dst.Send(g)
+	}
+	for rx.granted-rx.r.Received() < rx.mgr.cfg.RTTBytes && rx.granted < rx.f.Size {
+		upTo := min64(rx.granted+netsim.MSS, rx.f.Size)
+		g := netsim.CtrlPacket(netsim.Grant, rx.f.ID, rx.f.Dst.ID(), rx.f.Src.ID(), 0)
+		g.Meta = &grantInfo{UpTo: upTo, Prio: prio}
+		rx.f.Dst.Send(g)
+		rx.granted = upTo
+	}
+}
+
+// nextHolePacket returns one MSS-bounded missing range below the
+// received frontier that has not been requested yet, or n == 0. On this
+// in-order fabric, a byte below the frontier that neither arrived nor
+// was requested is a definite loss.
+func (rx *rxFlow) nextHolePacket() (int64, int64) {
+	frontier := rx.r.MaxCovered()
+	pos := int64(0)
+	for pos < frontier {
+		if next := rx.r.ContiguousFrom(pos); next > pos {
+			pos = next // received: skip
+			continue
+		}
+		if next := rx.reqd.ContiguousFrom(pos); next > pos {
+			pos = next // already requested: skip
+			continue
+		}
+		end := pos + netsim.MSS
+		if c := rx.r.NextCovered(pos, end); c < end {
+			end = c
+		}
+		if c := rx.reqd.FirstCoveredIn(pos, end); c < end {
+			end = c
+		}
+		if end > frontier {
+			end = frontier
+		}
+		return pos, end - pos
+	}
+	return 0, 0
+}
+
+// Handle implements netsim.Endpoint.
+func (rx *rxFlow) Handle(pkt *netsim.Packet) {
+	if pkt.Kind != netsim.Data {
+		return
+	}
+	rx.r.Add(pkt.Seq, pkt.PayloadLen)
+	if rx.r.Complete() {
+		if rx.retry != nil {
+			rx.retry.Stop()
+		}
+		delete(rx.mgr.flows, rx.f.ID)
+		rx.mgr.env.Complete(rx.f)
+		rx.mgr.pump()
+		return
+	}
+	rx.armRetry()
+	rx.mgr.pump()
+}
+
+// armRetry is the last-resort timeout (e.g. the tail packet of a fully
+// granted flow was lost).
+func (rx *rxFlow) armRetry() {
+	if rx.retry != nil {
+		rx.retry.Stop()
+	}
+	rx.retry = rx.mgr.env.Sched().After(rx.mgr.env.RTO(), func() {
+		if rx.f.Done() || rx.r.Complete() {
+			return
+		}
+		// Forget past requests — whatever is still missing after an RTO
+		// was lost again — and kick recovery with one packet.
+		rx.reqd = transport.IntervalSet{}
+		Debug.RetryReqs++
+		miss := rx.r.FirstMissing()
+		end := min64(miss+netsim.MSS, rx.f.Size)
+		rx.reqd.Add(miss, end)
+		g := netsim.CtrlPacket(netsim.Grant, rx.f.ID, rx.f.Dst.ID(), rx.f.Src.ID(), 0)
+		g.Meta = &grantInfo{UpTo: rx.granted, Prio: 2, ResendSeq: miss, ResendLen: end - miss}
+		rx.f.Dst.Send(g)
+		rx.armRetry()
+	})
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,212 @@
+// Package conformance runs every transport in the repository through a
+// common battery of scenarios: an idle network, a loaded all-to-all
+// workload, a hard incast, random (non-congestion) loss injection, and a
+// tiny-buffer fabric. Every protocol must complete every flow in every
+// scenario — the baseline property all the paper's experiments assume.
+package conformance
+
+import (
+	"fmt"
+	"testing"
+
+	"ppt/internal/netsim"
+	"ppt/internal/sim"
+	"ppt/internal/topo"
+	"ppt/internal/transport"
+	"ppt/internal/transport/aeolus"
+	"ppt/internal/transport/dctcp"
+	"ppt/internal/transport/expresspass"
+	"ppt/internal/transport/halfback"
+	"ppt/internal/transport/homa"
+	"ppt/internal/transport/hpcc"
+	"ppt/internal/transport/ndp"
+	"ppt/internal/transport/pias"
+	pptproto "ppt/internal/transport/ppt"
+	"ppt/internal/transport/rc3"
+	"ppt/internal/transport/swift"
+	"ppt/internal/workload"
+)
+
+// proto describes one transport under test and its fabric needs.
+type proto struct {
+	name  string
+	make  func() transport.Protocol
+	tweak func(*topo.Config)
+}
+
+func allProtocols() []proto {
+	return []proto{
+		{name: "dctcp", make: func() transport.Protocol { return dctcp.Proto{} }},
+		{name: "tcp10", make: func() transport.Protocol { return dctcp.Proto{Cfg: dctcp.Config{NoECN: true}} }},
+		{name: "ppt", make: func() transport.Protocol { return pptproto.Proto{} }},
+		{name: "ppt-noecn", make: func() transport.Protocol { return pptproto.Proto{Cfg: pptproto.Config{DisableECN: true}} }},
+		{name: "ppt-noewd", make: func() transport.Protocol { return pptproto.Proto{Cfg: pptproto.Config{DisableEWD: true}} }},
+		{name: "ppt-nosched", make: func() transport.Protocol { return pptproto.Proto{Cfg: pptproto.Config{DisableScheduling: true}} }},
+		{name: "ppt-sndbuf128k", make: func() transport.Protocol { return pptproto.Proto{Cfg: pptproto.Config{SendBuf: 128 << 10}} }},
+		{name: "rc3", make: func() transport.Protocol { return rc3.Proto{} }},
+		{name: "pias", make: func() transport.Protocol { return pias.Proto{} }},
+		{name: "halfback", make: func() transport.Protocol { return halfback.Proto{} }},
+		{name: "swift", make: func() transport.Protocol { return swift.Proto{} }},
+		{name: "swift+ppt", make: func() transport.Protocol { return swift.Proto{Cfg: swift.Config{WithPPT: true}} }},
+		{name: "hpcc", make: func() transport.Protocol { return hpcc.Proto{} },
+			tweak: func(c *topo.Config) { c.EnableINT = true }},
+		{name: "hpcc+ppt", make: func() transport.Protocol { return hpcc.PPTVariant{} },
+			tweak: func(c *topo.Config) { c.EnableINT = true }},
+		{name: "homa", make: func() transport.Protocol { return homa.New(homa.Config{}) }},
+		{name: "aeolus", make: func() transport.Protocol { return aeolus.New(aeolus.Config{}) },
+			tweak: func(c *topo.Config) { c.DroppableThresh = 24_000 }},
+		{name: "ndp", make: func() transport.Protocol { return ndp.New(ndp.Config{}) },
+			tweak: func(c *topo.Config) { c.TrimToHeader = true }},
+		{name: "expresspass", make: func() transport.Protocol { return expresspass.New(expresspass.Config{}) }},
+	}
+}
+
+// scenario shapes one fabric + workload combination.
+type scenario struct {
+	name   string
+	adapt  func(*topo.Config)
+	flows  func(cfg topo.Config, hosts int) []transport.SimpleFlow
+	rtoMin sim.Time
+}
+
+func baseConfig() topo.Config {
+	return topo.Config{
+		HostRate:            10 * netsim.Gbps,
+		LinkDelay:           5 * sim.Microsecond,
+		ECNHighK:            30_000,
+		ECNLowK:             24_000,
+		SharedBuffer:        1 << 20,
+		DynamicLowThreshold: true,
+	}
+}
+
+func generated(pattern func(hosts int) workload.Pattern, load float64, n int) func(topo.Config, int) []transport.SimpleFlow {
+	return func(cfg topo.Config, hosts int) []transport.SimpleFlow {
+		wf := workload.Generate(workload.GenConfig{
+			Dist: workload.WebSearch, Pattern: pattern(hosts), Load: load,
+			HostRate: cfg.HostRate, NumFlows: n, Seed: 5,
+		})
+		flows := make([]transport.SimpleFlow, len(wf))
+		for i, f := range wf {
+			flows[i] = transport.SimpleFlow{ID: f.ID, Src: f.Src, Dst: f.Dst,
+				Size: f.Size, Arrive: f.Arrive, FirstCall: f.Size}
+		}
+		return flows
+	}
+}
+
+func scenarios() []scenario {
+	return []scenario{
+		{
+			name: "idle-single-flow",
+			flows: func(topo.Config, int) []transport.SimpleFlow {
+				return []transport.SimpleFlow{{ID: 1, Src: 0, Dst: 1, Size: 777_777, FirstCall: 777_777}}
+			},
+		},
+		{
+			name:  "loaded-all-to-all",
+			flows: generated(func(h int) workload.Pattern { return workload.AllToAll{N: h} }, 0.6, 60),
+		},
+		{
+			name:  "hard-incast",
+			flows: generated(func(h int) workload.Pattern { return workload.Incast{N: h, Target: 0} }, 0.9, 40),
+		},
+		{
+			name:   "random-loss-1pct",
+			adapt:  func(c *topo.Config) { c.LossProb = 0.01 },
+			flows:  generated(func(h int) workload.Pattern { return workload.AllToAll{N: h} }, 0.4, 40),
+			rtoMin: 300 * sim.Microsecond,
+		},
+		{
+			name:   "tiny-buffer",
+			adapt:  func(c *topo.Config) { c.SharedBuffer = 40_000 },
+			flows:  generated(func(h int) workload.Pattern { return workload.Incast{N: h, Target: 0} }, 0.7, 30),
+			rtoMin: 300 * sim.Microsecond,
+		},
+	}
+}
+
+func TestEveryTransportEveryScenario(t *testing.T) {
+	if testing.Short() {
+		t.Skip("conformance sweep")
+	}
+	const hosts = 8
+	for _, sc := range scenarios() {
+		for _, pr := range allProtocols() {
+			sc, pr := sc, pr
+			t.Run(fmt.Sprintf("%s/%s", sc.name, pr.name), func(t *testing.T) {
+				t.Parallel()
+				cfg := baseConfig()
+				if sc.adapt != nil {
+					sc.adapt(&cfg)
+				}
+				if pr.tweak != nil {
+					pr.tweak(&cfg)
+				}
+				net := topo.Star(hosts, cfg)
+				env := transport.NewEnv(net)
+				env.RTOMin = 500 * sim.Microsecond
+				if sc.rtoMin != 0 {
+					env.RTOMin = sc.rtoMin
+				}
+				flows := sc.flows(cfg, hosts)
+				sum := transport.Run(env, pr.make(), flows, transport.RunConfig{MaxEvents: 80_000_000})
+				if sum.Flows != len(flows) {
+					t.Fatalf("completed %d/%d flows", sum.Flows, len(flows))
+				}
+				// Sanity: all FCTs positive and the efficiency
+				// accounting is self-consistent.
+				if sum.OverallAvg <= 0 {
+					t.Fatalf("non-positive avg FCT %v", sum.OverallAvg)
+				}
+				if env.Eff.SentPayload < env.Eff.UsefulDelivered {
+					t.Fatalf("delivered %d > sent %d", env.Eff.UsefulDelivered, env.Eff.SentPayload)
+				}
+			})
+		}
+	}
+}
+
+// TestLossInjectionActuallyDrops guards the failure-injection plumbing
+// itself.
+func TestLossInjectionActuallyDrops(t *testing.T) {
+	cfg := baseConfig()
+	cfg.LossProb = 0.05
+	net := topo.Star(4, cfg)
+	env := transport.NewEnv(net)
+	env.RTOMin = 300 * sim.Microsecond
+	flows := []transport.SimpleFlow{{ID: 1, Src: 0, Dst: 1, Size: 2_000_000, FirstCall: 2_000_000}}
+	sum := transport.Run(env, dctcp.Proto{}, flows, transport.RunConfig{})
+	if sum.Flows != 1 {
+		t.Fatal("flow did not survive loss injection")
+	}
+	var rnd int64
+	for _, p := range net.SwitchPorts() {
+		rnd += p.Stats.RandomDrops
+	}
+	if rnd == 0 {
+		t.Fatal("LossProb=0.05 never dropped")
+	}
+}
+
+// TestLossInjectionDeterministic: identical seeds give identical drops.
+func TestLossInjectionDeterministic(t *testing.T) {
+	run := func() int64 {
+		cfg := baseConfig()
+		cfg.LossProb = 0.02
+		net := topo.Star(4, cfg)
+		env := transport.NewEnv(net)
+		env.RTOMin = 300 * sim.Microsecond
+		transport.Run(env, dctcp.Proto{}, []transport.SimpleFlow{
+			{ID: 1, Src: 0, Dst: 1, Size: 1_000_000, FirstCall: 1_000_000},
+		}, transport.RunConfig{})
+		var rnd int64
+		for _, p := range net.SwitchPorts() {
+			rnd += p.Stats.RandomDrops
+		}
+		return rnd
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("non-deterministic loss: %d vs %d", a, b)
+	}
+}

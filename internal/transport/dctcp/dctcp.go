@@ -1,0 +1,388 @@
+// Package dctcp implements Data Center TCP [5]: slow start, congestion
+// avoidance, per-window ECN-fraction estimation (the α estimator of
+// Equation 1), proportional window reduction, fast retransmit, and
+// go-back-N timeout recovery.
+//
+// The sender is written to be embedded: PPT reuses it unchanged as the
+// high-priority control loop (HCP), supplying a Skip set of bytes the
+// low-priority loop already delivered, a priority tagger, and an α hook
+// for the intermittent LCP initialization of §3.1.
+package dctcp
+
+import (
+	"ppt/internal/netsim"
+	"ppt/internal/sim"
+	"ppt/internal/transport"
+)
+
+// Config tunes a sender.
+type Config struct {
+	// G is the α estimation gain g of Equation 1 (default 1/16).
+	G float64
+	// InitCwnd is the initial congestion window in bytes (default
+	// 10 MSS, the modern Linux default the paper's TCP-10 row cites).
+	InitCwnd int64
+	// Prio tags data packets given cumulative bytes sent (default P0).
+	Prio func(bytesSent int64) int8
+	// AckPrio tags this flow's ACKs (default P0).
+	AckPrio int8
+	// NoECN disables ECT marking (pure loss-based TCP behaviour).
+	NoECN bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.G == 0 {
+		c.G = 1.0 / 16
+	}
+	if c.InitCwnd == 0 {
+		c.InitCwnd = 10 * netsim.MSS
+	}
+	if c.Prio == nil {
+		c.Prio = func(int64) int8 { return 0 }
+	}
+	return c
+}
+
+// Sender is the DCTCP congestion-controlled sender for one flow.
+type Sender struct {
+	Env *transport.Env
+	F   *transport.Flow
+	C   Config
+
+	Cwnd     float64 // bytes
+	Ssthresh float64
+	SndUna   int64
+	SndNxt   int64
+	Alpha    float64
+
+	// Wmax is the largest congestion window observed after the flow
+	// left slow start (§3.1 footnote 3: only congestion-avoidance
+	// windows count toward the LCP fill target).
+	Wmax     float64
+	ExitedSS bool
+
+	// PeakCwnd is the largest window regardless of phase — the "MW"
+	// recorded by the hypothetical-DCTCP oracle of §2.3.
+	PeakCwnd float64
+
+	// Skip marks bytes delivered out of band (PPT's LCP SACK
+	// scoreboard); the sender never (re)transmits them.
+	Skip *transport.IntervalSet
+
+	// BytesSent counts payload bytes transmitted (for tagging).
+	BytesSent int64
+
+	// SRTT is a smoothed RTT from ACK echo timestamps; starts at the
+	// fabric base RTT.
+	SRTT sim.Time
+
+	// OnAlpha fires after each per-window α update (PPT case-2 hook).
+	OnAlpha func(alpha float64)
+	// OnAck fires for every ACK processed (delay-based variants hook
+	// RTT measurements here).
+	OnAck func(pkt *netsim.Packet)
+
+	windowEnd   int64 // α window boundary: next update when SndUna passes it
+	ackedInWin  int64
+	markedInWin int64
+
+	dupAcks int
+	rto     *sim.Timer
+}
+
+// NewSender builds (but does not launch) a sender.
+func NewSender(env *transport.Env, f *transport.Flow, cfg Config) *Sender {
+	cfg = cfg.withDefaults()
+	s := &Sender{
+		Env:      env,
+		F:        f,
+		C:        cfg,
+		Cwnd:     float64(cfg.InitCwnd),
+		Ssthresh: 1 << 40,
+		SRTT:     env.BaseRTT(),
+		Skip:     &transport.IntervalSet{},
+	}
+	return s
+}
+
+// Launch begins transmission.
+func (s *Sender) Launch() {
+	s.windowEnd = 0
+	s.TrySend()
+}
+
+// InFlight returns the unacknowledged bytes not covered by Skip.
+func (s *Sender) InFlight() int64 {
+	out := s.SndNxt - s.SndUna
+	if out <= 0 {
+		return 0
+	}
+	return out - s.Skip.CoveredIn(s.SndUna, s.SndNxt)
+}
+
+// InSlowStart reports the congestion phase.
+func (s *Sender) InSlowStart() bool { return s.Cwnd < s.Ssthresh }
+
+// nextSeg returns the next [seq, end) to transmit starting the scan at
+// `from`, skipping Skip-covered bytes; ok is false when nothing remains.
+func (s *Sender) nextSeg(from int64) (seq, end int64, ok bool) {
+	seq = from
+	for seq < s.F.Size {
+		// Skip over out-of-band-delivered bytes.
+		next := s.Skip.ContiguousFrom(seq)
+		if next > seq {
+			seq = next
+			continue
+		}
+		end = seq + netsim.MSS
+		if end > s.F.Size {
+			end = s.F.Size
+		}
+		// Truncate at the next Skip-covered byte.
+		if cov := s.Skip.FirstCoveredIn(seq, end); cov < end {
+			end = cov
+		}
+		return seq, end, true
+	}
+	return 0, 0, false
+}
+
+// TrySend transmits while the window allows.
+func (s *Sender) TrySend() {
+	if s.F.Done() {
+		s.stopRTO()
+		return
+	}
+	for {
+		if float64(s.InFlight())+netsim.MSS > s.Cwnd && s.InFlight() > 0 {
+			break
+		}
+		seq, end, ok := s.nextSeg(s.SndNxt)
+		if !ok {
+			break
+		}
+		if float64(s.InFlight())+float64(end-seq) > s.Cwnd && s.InFlight() > 0 {
+			break
+		}
+		s.transmit(seq, int32(end-seq), false)
+		s.SndNxt = end
+	}
+	s.armRTO()
+}
+
+func (s *Sender) transmit(seq int64, n int32, retrans bool) {
+	pkt := netsim.DataPacket(s.F.ID, s.F.Src.ID(), s.F.Dst.ID(), seq, n, s.C.Prio(s.BytesSent))
+	pkt.ECT = !s.C.NoECN
+	pkt.Retrans = retrans
+	s.BytesSent += int64(n)
+	s.F.Src.Send(pkt)
+}
+
+func (s *Sender) armRTO() {
+	if s.InFlight() <= 0 || s.F.Done() {
+		s.stopRTO()
+		return
+	}
+	if s.rto != nil && s.rto.Pending() {
+		return
+	}
+	s.rto = s.Env.Sched().After(s.Env.RTO(), s.onRTO)
+}
+
+func (s *Sender) resetRTO() {
+	s.stopRTO()
+	s.armRTO()
+}
+
+func (s *Sender) stopRTO() {
+	if s.rto != nil {
+		s.rto.Stop()
+		s.rto = nil
+	}
+}
+
+func (s *Sender) onRTO() {
+	if s.F.Done() || s.InFlight() <= 0 {
+		return
+	}
+	// Go-back-N: rewind and slow-start from one segment.
+	s.Ssthresh = s.Cwnd / 2
+	if s.Ssthresh < netsim.MSS {
+		s.Ssthresh = netsim.MSS
+	}
+	s.Cwnd = netsim.MSS
+	s.SndNxt = s.SndUna
+	s.dupAcks = 0
+	s.windowEnd = s.SndUna // restart the α window
+	s.ackedInWin, s.markedInWin = 0, 0
+	seq, end, ok := s.nextSeg(s.SndUna)
+	if ok {
+		s.transmit(seq, int32(end-seq), true)
+		s.SndNxt = end
+	}
+	s.rto = s.Env.Sched().After(s.Env.RTO(), s.onRTO)
+}
+
+// Handle implements netsim.Endpoint for the sender side (ACK arrivals).
+func (s *Sender) Handle(pkt *netsim.Packet) {
+	if s.F.Done() {
+		return
+	}
+	if pkt.Kind != netsim.Ack || pkt.LowLoop {
+		return // low-loop ACKs are the embedding transport's business
+	}
+	s.ProcessAck(pkt)
+}
+
+// ProcessAck runs the DCTCP control logic for one high-priority ACK.
+func (s *Sender) ProcessAck(pkt *netsim.Packet) {
+	cum := pkt.Seq
+	if pkt.EchoTS > 0 {
+		rtt := s.Env.Now() - pkt.EchoTS
+		s.SRTT = (7*s.SRTT + rtt) / 8
+	}
+	if s.OnAck != nil {
+		s.OnAck(pkt)
+	}
+	if cum > s.SndUna {
+		acked := cum - s.SndUna
+		s.SndUna = cum
+		// Crossed paths with the low loop (§5.2): the receiver's
+		// cumulative ACK can run past everything HCP ever sent.
+		if s.SndUna > s.SndNxt {
+			s.SndNxt = s.SndUna
+		}
+		s.dupAcks = 0
+		s.growWindow(acked, pkt.ECE)
+		s.resetRTO()
+	} else if s.InFlight() > 0 {
+		s.dupAcks++
+		s.countMarks(netsim.MSS, pkt.ECE) // dup ACK still echoes marking state
+		if s.dupAcks == 3 {
+			s.fastRetransmit()
+		}
+	}
+	s.maybeUpdateAlpha()
+	s.TrySend()
+}
+
+func (s *Sender) growWindow(acked int64, ece bool) {
+	s.countMarks(acked, ece)
+	if s.InSlowStart() {
+		s.Cwnd += float64(acked)
+	} else {
+		s.Cwnd += netsim.MSS * float64(acked) / s.Cwnd
+	}
+	s.noteWmax()
+}
+
+func (s *Sender) countMarks(acked int64, ece bool) {
+	s.ackedInWin += acked
+	if ece {
+		s.markedInWin += acked
+	}
+}
+
+// maybeUpdateAlpha applies Equation 1 once per window of data.
+func (s *Sender) maybeUpdateAlpha() {
+	if s.SndUna < s.windowEnd {
+		return
+	}
+	if s.ackedInWin > 0 {
+		f := float64(s.markedInWin) / float64(s.ackedInWin)
+		s.Alpha = (1-s.C.G)*s.Alpha + s.C.G*f
+		if s.markedInWin > 0 {
+			// ECN window reduction: cwnd *= (1 - α/2).
+			s.Cwnd *= 1 - s.Alpha/2
+			if s.Cwnd < netsim.MSS {
+				s.Cwnd = netsim.MSS
+			}
+			s.Ssthresh = s.Cwnd
+			s.markSlowStartExit()
+		}
+		if s.OnAlpha != nil {
+			s.OnAlpha(s.Alpha)
+		}
+	}
+	s.ackedInWin, s.markedInWin = 0, 0
+	s.windowEnd = s.SndNxt
+}
+
+func (s *Sender) fastRetransmit() {
+	seq, end, ok := s.nextSeg(s.SndUna)
+	if !ok {
+		return
+	}
+	s.transmit(seq, int32(end-seq), true)
+	s.Ssthresh = s.Cwnd / 2
+	if s.Ssthresh < 2*netsim.MSS {
+		s.Ssthresh = 2 * netsim.MSS
+	}
+	s.Cwnd = s.Ssthresh
+	s.markSlowStartExit()
+	s.resetRTO()
+}
+
+func (s *Sender) markSlowStartExit() {
+	if !s.ExitedSS {
+		s.ExitedSS = true
+	}
+	s.noteWmax()
+}
+
+func (s *Sender) noteWmax() {
+	if s.Cwnd > s.PeakCwnd {
+		s.PeakCwnd = s.Cwnd
+	}
+	if s.ExitedSS && s.Cwnd > s.Wmax {
+		s.Wmax = s.Cwnd
+	}
+}
+
+// Receiver is the plain DCTCP receiver: one ACK per data packet echoing
+// the CE bit, completion when all bytes arrive.
+type Receiver struct {
+	Env *transport.Env
+	F   *transport.Flow
+	R   *transport.Reassembly
+	// AckPrio tags outgoing ACKs.
+	AckPrio int8
+}
+
+// NewReceiver builds a receiver.
+func NewReceiver(env *transport.Env, f *transport.Flow) *Receiver {
+	return &Receiver{Env: env, F: f, R: transport.NewReassembly(f.Size)}
+}
+
+// Handle implements netsim.Endpoint for the receiver side.
+func (r *Receiver) Handle(pkt *netsim.Packet) {
+	if pkt.Kind != netsim.Data {
+		return
+	}
+	r.R.Add(pkt.Seq, pkt.PayloadLen)
+	ack := netsim.CtrlPacket(netsim.Ack, r.F.ID, r.F.Dst.ID(), r.F.Src.ID(), r.AckPrio)
+	ack.Seq = r.R.CumAck()
+	ack.ECE = pkt.CE
+	ack.EchoTS = pkt.SentAt
+	r.F.Dst.Send(ack)
+	if r.R.Complete() {
+		r.Env.Complete(r.F)
+	}
+}
+
+// Proto is the plain-DCTCP protocol factory.
+type Proto struct {
+	Cfg Config
+}
+
+// Name implements transport.Protocol.
+func (Proto) Name() string { return "dctcp" }
+
+// Start implements transport.Protocol.
+func (p Proto) Start(env *transport.Env, f *transport.Flow) {
+	r := NewReceiver(env, f)
+	f.Dst.Bind(f.ID, true, r)
+	s := NewSender(env, f, p.Cfg)
+	f.Src.Bind(f.ID, false, s)
+	s.Launch()
+}

@@ -1,0 +1,408 @@
+package dctcp
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ppt/internal/netsim"
+	"ppt/internal/sim"
+	"ppt/internal/topo"
+	"ppt/internal/transport"
+)
+
+// newEnv builds a tiny star fabric for end-to-end tests.
+func newEnv() *transport.Env {
+	net := topo.Star(4, topo.Config{
+		HostRate:     10 * netsim.Gbps,
+		LinkDelay:    5 * sim.Microsecond,
+		ECNHighK:     30_000,
+		SharedBuffer: 1 << 20,
+	})
+	return transport.NewEnv(net)
+}
+
+func TestSingleFlowCompletes(t *testing.T) {
+	env := newEnv()
+	sum := transport.Run(env, Proto{}, []transport.SimpleFlow{
+		{ID: 1, Src: 0, Dst: 1, Size: 1_000_000},
+	}, transport.RunConfig{})
+	if sum.Flows != 1 {
+		t.Fatalf("completed %d flows", sum.Flows)
+	}
+	// 1MB at 10G is 800us of serialization plus the ~21us base RTT and
+	// slow-start ramp; anything under ~5ms is sane, under 800us is
+	// impossible.
+	if sum.OverallAvg < 800*sim.Microsecond || sum.OverallAvg > 5*sim.Millisecond {
+		t.Fatalf("FCT = %v", sum.OverallAvg)
+	}
+}
+
+func TestTinyFlowOneRTT(t *testing.T) {
+	env := newEnv()
+	sum := transport.Run(env, Proto{}, []transport.SimpleFlow{
+		{ID: 1, Src: 0, Dst: 1, Size: 1000},
+	}, transport.RunConfig{})
+	// One packet each way: about one base RTT.
+	if sum.OverallAvg > 2*env.BaseRTT() {
+		t.Fatalf("tiny flow FCT = %v, base RTT %v", sum.OverallAvg, env.BaseRTT())
+	}
+}
+
+func TestManyFlowsAllComplete(t *testing.T) {
+	env := newEnv()
+	var flows []transport.SimpleFlow
+	for i := 0; i < 30; i++ {
+		flows = append(flows, transport.SimpleFlow{
+			ID: uint32(i + 1), Src: i % 3, Dst: 3, Size: int64(10_000 + i*5_000),
+			Arrive: sim.Time(i) * 10 * sim.Microsecond,
+		})
+	}
+	sum := transport.Run(env, Proto{}, flows, transport.RunConfig{})
+	if sum.Flows != 30 {
+		t.Fatalf("completed %d/30", sum.Flows)
+	}
+}
+
+func TestCompetingFlowsShareFairly(t *testing.T) {
+	env := newEnv()
+	// Two long flows into the same sink, started together.
+	sum := transport.Run(env, Proto{}, []transport.SimpleFlow{
+		{ID: 1, Src: 0, Dst: 2, Size: 4_000_000},
+		{ID: 2, Src: 1, Dst: 2, Size: 4_000_000},
+	}, transport.RunConfig{})
+	if sum.Flows != 2 {
+		t.Fatalf("completed %d", sum.Flows)
+	}
+	recs := env.Collector.Records()
+	a, b := recs[0].FCT(), recs[1].FCT()
+	ratio := float64(a) / float64(b)
+	if ratio < 0.5 || ratio > 2.0 {
+		t.Fatalf("unfair share: FCTs %v vs %v", a, b)
+	}
+	// Ideal: 8MB over a 10G bottleneck = 6.4ms total.
+	worst := a
+	if b > a {
+		worst = b
+	}
+	if worst > 12*sim.Millisecond {
+		t.Fatalf("bottleneck underused: worst FCT %v", worst)
+	}
+}
+
+func TestECNKeepsQueueShort(t *testing.T) {
+	env := newEnv()
+	done := transport.Run(env, Proto{}, []transport.SimpleFlow{
+		{ID: 1, Src: 0, Dst: 2, Size: 3_000_000},
+		{ID: 2, Src: 1, Dst: 2, Size: 3_000_000},
+	}, transport.RunConfig{})
+	if done.Flows != 2 {
+		t.Fatal("flows incomplete")
+	}
+	// With K=30KB and ECN, the shared pool should never have been
+	// exhausted (no drops at the bottleneck).
+	port := env.Net.Switches[0].Port(2) // downlink to host 2
+	if port.Stats.Drops != 0 {
+		t.Fatalf("drops = %d despite ECN", port.Stats.Drops)
+	}
+	if port.Stats.MarksHigh == 0 {
+		t.Fatal("no ECN marks on a congested port")
+	}
+}
+
+// synthetic-sender helpers ----------------------------------------------
+
+// bench fabricates a sender whose packets go nowhere, for pure
+// state-machine tests.
+func newLoneSender(t *testing.T, size int64) (*Sender, *transport.Env) {
+	t.Helper()
+	env := newEnv()
+	f := &transport.Flow{ID: 9, Src: env.Net.Hosts[0], Dst: env.Net.Hosts[1], Size: size, FirstCall: size}
+	s := NewSender(env, f, Config{})
+	return s, env
+}
+
+func ack(cum int64, ece bool) *netsim.Packet {
+	p := netsim.CtrlPacket(netsim.Ack, 9, 1, 0, 0)
+	p.Seq = cum
+	p.ECE = ece
+	return p
+}
+
+func TestSlowStartDoubles(t *testing.T) {
+	s, _ := newLoneSender(t, 1<<30)
+	s.Launch()
+	if s.SndNxt != 10*netsim.MSS {
+		t.Fatalf("initial burst = %d bytes", s.SndNxt)
+	}
+	start := s.Cwnd
+	// Ack the whole initial window: cwnd doubles in slow start.
+	s.ProcessAck(ack(10*netsim.MSS, false))
+	if s.Cwnd != start+10*netsim.MSS {
+		t.Fatalf("cwnd after full-window ack = %v, want %v", s.Cwnd, start+10*netsim.MSS)
+	}
+	if !s.InSlowStart() {
+		t.Fatal("left slow start without congestion")
+	}
+}
+
+func TestCongestionAvoidanceLinear(t *testing.T) {
+	s, _ := newLoneSender(t, 1<<30)
+	s.Launch()
+	s.Ssthresh = s.Cwnd // force CA
+	before := s.Cwnd
+	s.ProcessAck(ack(10*netsim.MSS, false))
+	// CA: cwnd += MSS*acked/cwnd ~= MSS per RTT when acked==cwnd.
+	growth := s.Cwnd - before
+	if growth < netsim.MSS*0.9 || growth > netsim.MSS*1.1 {
+		t.Fatalf("CA growth = %v, want ~MSS", growth)
+	}
+}
+
+func TestAlphaUpdateAndCut(t *testing.T) {
+	s, _ := newLoneSender(t, 1<<30)
+	s.Launch()
+	before := s.Cwnd
+	// Every byte of the first window marked: F=1, α = g·1 = 1/16.
+	s.ProcessAck(ack(10*netsim.MSS, true))
+	wantAlpha := 1.0 / 16
+	if s.Alpha != wantAlpha {
+		t.Fatalf("alpha = %v, want %v", s.Alpha, wantAlpha)
+	}
+	// Window cut by α/2 after the slow-start growth was applied.
+	grown := before + 10*netsim.MSS
+	want := grown * (1 - wantAlpha/2)
+	if s.Cwnd < want*0.999 || s.Cwnd > want*1.001 {
+		t.Fatalf("cwnd = %v, want %v", s.Cwnd, want)
+	}
+	if s.InSlowStart() {
+		t.Fatal("still in slow start after ECN cut")
+	}
+}
+
+func TestAlphaDecaysWithoutMarks(t *testing.T) {
+	s, _ := newLoneSender(t, 1<<30)
+	s.Launch()
+	s.Alpha = 0.5
+	s.ProcessAck(ack(10*netsim.MSS, false))
+	want := 0.5 * (1 - 1.0/16)
+	if s.Alpha < want*0.999 || s.Alpha > want*1.001 {
+		t.Fatalf("alpha = %v, want %v", s.Alpha, want)
+	}
+}
+
+func TestWmaxOnlyAfterSlowStart(t *testing.T) {
+	s, _ := newLoneSender(t, 1<<30)
+	s.Launch()
+	s.ProcessAck(ack(10*netsim.MSS, false))
+	if s.Wmax != 0 {
+		t.Fatalf("Wmax tracked during slow start: %v", s.Wmax)
+	}
+	s.ProcessAck(ack(30*netsim.MSS, true)) // exits slow start
+	if !s.ExitedSS || s.Wmax == 0 {
+		t.Fatalf("Wmax not tracked after exit: %v (exited=%v)", s.Wmax, s.ExitedSS)
+	}
+	if s.Wmax < s.Cwnd {
+		t.Fatalf("Wmax %v < cwnd %v", s.Wmax, s.Cwnd)
+	}
+}
+
+func TestDupAcksTriggerFastRetransmit(t *testing.T) {
+	s, _ := newLoneSender(t, 1<<30)
+	s.Launch()
+	sent := s.BytesSent
+	cw := s.Cwnd
+	s.ProcessAck(ack(0, false))
+	s.ProcessAck(ack(0, false))
+	if s.BytesSent > sent+int64(cw)+netsim.MSS {
+		t.Fatal("retransmitted before 3 dupacks")
+	}
+	before := s.BytesSent
+	s.ProcessAck(ack(0, false))
+	if s.BytesSent == before {
+		t.Fatal("no fast retransmit on 3rd dupack")
+	}
+	if s.Cwnd >= cw {
+		t.Fatalf("cwnd not reduced: %v -> %v", cw, s.Cwnd)
+	}
+}
+
+func TestCrossedPathsAdvancesSndNxt(t *testing.T) {
+	// §5.2: an ACK beyond snd_nxt (receiver got in-order LCP bytes)
+	// advances the send queue head.
+	s, _ := newLoneSender(t, 1<<30)
+	s.Launch()
+	beyond := s.SndNxt + 100*netsim.MSS
+	s.ProcessAck(ack(beyond, false))
+	if s.SndUna != beyond || s.SndNxt < beyond {
+		t.Fatalf("una=%d nxt=%d, want both >= %d", s.SndUna, s.SndNxt, beyond)
+	}
+}
+
+func TestSkipSetAvoidsRanges(t *testing.T) {
+	s, _ := newLoneSender(t, 1<<30)
+	// Mark [MSS, 3*MSS) as delivered by the low loop.
+	s.Skip.Add(netsim.MSS, 3*netsim.MSS)
+	s.Launch()
+	// First segment [0, MSS); second must start at 3*MSS.
+	seq, end, ok := s.nextSeg(netsim.MSS)
+	if !ok || seq != 3*netsim.MSS || end != 4*netsim.MSS {
+		t.Fatalf("nextSeg after skip = [%d,%d) ok=%v", seq, end, ok)
+	}
+}
+
+func TestNextSegTruncatesAtCoveredByte(t *testing.T) {
+	s, _ := newLoneSender(t, 1<<30)
+	s.Skip.Add(1000, 2000)
+	seq, end, ok := s.nextSeg(0)
+	if !ok || seq != 0 || end != 1000 {
+		t.Fatalf("nextSeg = [%d,%d) ok=%v, want [0,1000)", seq, end, ok)
+	}
+}
+
+func TestInFlightExcludesSkipped(t *testing.T) {
+	s, _ := newLoneSender(t, 1<<30)
+	s.Launch() // 10 MSS in flight
+	full := s.InFlight()
+	s.Skip.Add(0, 2*netsim.MSS)
+	if got := s.InFlight(); got != full-2*netsim.MSS {
+		t.Fatalf("inflight = %d, want %d", got, full-2*netsim.MSS)
+	}
+}
+
+func TestRTORecoversFromTotalLoss(t *testing.T) {
+	// Tiny queue cap forces drops; the flow must still complete via
+	// timeouts.
+	net := topo.Star(3, topo.Config{
+		HostRate:     10 * netsim.Gbps,
+		LinkDelay:    5 * sim.Microsecond,
+		SharedBuffer: 4_500, // fits ~3 packets
+	})
+	env := transport.NewEnv(net)
+	env.RTOMin = 200 * sim.Microsecond
+	// Two senders into one 10G downlink: the 3-packet shared buffer
+	// guarantees overflow drops during slow start.
+	sum := transport.Run(env, Proto{}, []transport.SimpleFlow{
+		{ID: 1, Src: 0, Dst: 1, Size: 60_000},
+		{ID: 2, Src: 2, Dst: 1, Size: 60_000},
+	}, transport.RunConfig{})
+	if sum.Flows != 2 {
+		t.Fatal("flows never completed under heavy loss")
+	}
+	if env.Net.Switches[0].Port(1).Stats.Drops == 0 {
+		t.Fatal("test did not actually force drops")
+	}
+}
+
+func TestPriorityTagging(t *testing.T) {
+	env := newEnv()
+	var prios []int8
+	f := &transport.Flow{ID: 9, Src: env.Net.Hosts[0], Dst: env.Net.Hosts[1], Size: 1 << 20}
+	cfg := Config{Prio: func(sent int64) int8 {
+		if sent >= 5*netsim.MSS {
+			return 3
+		}
+		return 0
+	}}
+	s := NewSender(env, f, cfg)
+	orig := s.C.Prio
+	s.C.Prio = func(sent int64) int8 {
+		p := orig(sent)
+		prios = append(prios, p)
+		return p
+	}
+	s.Launch()
+	if len(prios) != 10 {
+		t.Fatalf("sent %d packets", len(prios))
+	}
+	if prios[0] != 0 || prios[9] != 3 {
+		t.Fatalf("prios = %v", prios)
+	}
+}
+
+func TestRetransFlaggedForEfficiency(t *testing.T) {
+	s, env := newLoneSender(t, 1<<30)
+	s.Launch()
+	nic := env.Net.Hosts[0].NIC()
+	// No receiver exists, so bound the run: RTO retransmission would
+	// otherwise continue forever (as it should).
+	env.Sched().RunUntil(100 * sim.Microsecond)
+	fresh := nic.Stats.TxFreshBytes
+	s.ProcessAck(ack(0, false))
+	s.ProcessAck(ack(0, false))
+	s.ProcessAck(ack(0, false)) // fast retransmit
+	env.Sched().RunUntil(200 * sim.Microsecond)
+	if nic.Stats.TxFreshBytes != fresh {
+		t.Fatal("retransmission counted as fresh payload")
+	}
+	if nic.Stats.TxDataBytes <= fresh {
+		t.Fatal("retransmission not counted as data payload")
+	}
+}
+
+// Property: no ACK sequence, however adversarial, drives the window
+// below one MSS, the in-flight estimate negative, or α outside [0,1].
+func TestPropertySenderInvariants(t *testing.T) {
+	prop := func(seed int64, nAcks uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s, _ := newLoneSender(t, 1<<30)
+		s.Launch()
+		for i := 0; i < int(nAcks%60)+1; i++ {
+			p := netsim.CtrlPacket(netsim.Ack, 9, 1, 0, 0)
+			// Random cumulative ack around the current window, sometimes
+			// stale, sometimes beyond snd_nxt (crossed paths).
+			p.Seq = s.SndUna + int64(rng.Intn(3*netsim.MSS*20)) - netsim.MSS*10
+			if p.Seq < 0 {
+				p.Seq = 0
+			}
+			p.ECE = rng.Intn(3) == 0
+			s.ProcessAck(p)
+			if s.Cwnd < netsim.MSS {
+				return false
+			}
+			if s.InFlight() < 0 {
+				return false
+			}
+			if s.Alpha < 0 || s.Alpha > 1 {
+				return false
+			}
+			if s.SndUna > s.SndNxt {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the skip set never causes a segment to be emitted from
+// covered bytes.
+func TestPropertyNextSegAvoidsSkip(t *testing.T) {
+	prop := func(seed int64, nRanges uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s, _ := newLoneSender(t, 1<<20)
+		for i := 0; i < int(nRanges%10)+1; i++ {
+			a := int64(rng.Intn(1 << 20))
+			b := a + int64(rng.Intn(8*netsim.MSS))
+			s.Skip.Add(a, b)
+		}
+		for from := int64(0); ; {
+			seq, end, ok := s.nextSeg(from)
+			if !ok {
+				return true
+			}
+			if s.Skip.CoveredIn(seq, end) != 0 {
+				return false
+			}
+			if end <= seq || end-seq > netsim.MSS {
+				return false
+			}
+			from = end
+		}
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,212 @@
+// Package expresspass implements ExpressPass [11], a Table 1 proactive
+// baseline: senders hold data until credits arrive ("passive, 1st RTT
+// wasted"). A flow announces itself with a header-only request; the
+// receiver's per-host credit pacer then emits one credit per MSS slot of
+// its downlink, round-robining across active inbound flows; each credit
+// releases exactly one data packet. Because data is credit-clocked at
+// the receiver's line rate, data packets essentially never overflow the
+// last hop — the scheme's selling point — at the cost of a wasted first
+// RTT and credit overhead.
+package expresspass
+
+import (
+	"ppt/internal/netsim"
+	"ppt/internal/sim"
+	"ppt/internal/transport"
+)
+
+// Config tunes ExpressPass.
+type Config struct {
+	// CreditRate scales the credit pace relative to the downlink
+	// (default 1.0; the real system shapes credits to ~95% to leave
+	// room for other traffic).
+	CreditRate float64
+}
+
+// Proto is the ExpressPass protocol factory; one instance per run (it
+// owns the per-host credit pacers).
+type Proto struct {
+	Cfg    Config
+	pacers map[int32]*creditPacer
+}
+
+// New builds an ExpressPass instance.
+func New(cfg Config) *Proto {
+	if cfg.CreditRate == 0 {
+		cfg.CreditRate = 1.0
+	}
+	return &Proto{Cfg: cfg, pacers: make(map[int32]*creditPacer)}
+}
+
+// Name implements transport.Protocol.
+func (*Proto) Name() string { return "expresspass" }
+
+// Start implements transport.Protocol.
+func (p *Proto) Start(env *transport.Env, f *transport.Flow) {
+	pacer := p.pacers[f.Dst.ID()]
+	if pacer == nil {
+		pacer = &creditPacer{env: env, host: f.Dst, rate: p.Cfg.CreditRate}
+		p.pacers[f.Dst.ID()] = pacer
+	}
+	rx := &receiver{env: env, f: f, r: transport.NewReassembly(f.Size), pacer: pacer}
+	f.Dst.Bind(f.ID, true, rx)
+	s := &sender{env: env, f: f}
+	f.Src.Bind(f.ID, false, s)
+	// Announce the flow with a one-byte request packet; all real data
+	// waits for credits (the wasted first RTT: the pacer only learns of
+	// the flow when the announcement arrives).
+	s.announce()
+	s.armRetry()
+}
+
+// sender releases one packet per credit.
+type sender struct {
+	env      *transport.Env
+	f        *transport.Flow
+	sentNext int64
+}
+
+// announce carries the flow's first byte as a credit request.
+func (s *sender) announce() {
+	req := netsim.DataPacket(s.f.ID, s.f.Src.ID(), s.f.Dst.ID(), 0, 1, 0)
+	s.f.Src.Send(req)
+}
+
+// Handle implements netsim.Endpoint.
+func (s *sender) Handle(pkt *netsim.Packet) {
+	if s.f.Done() || pkt.Kind != netsim.Grant {
+		return
+	}
+	// A credit may carry a retransmission request for a lost packet.
+	if ci, ok := pkt.Meta.(creditInfo); ok && ci.ResendLen > 0 {
+		rp := netsim.DataPacket(s.f.ID, s.f.Src.ID(), s.f.Dst.ID(), ci.ResendSeq, ci.ResendLen, 1)
+		rp.Retrans = true
+		s.f.Src.Send(rp)
+		return
+	}
+	if s.sentNext >= s.f.Size {
+		return
+	}
+	end := s.sentNext + netsim.MSS
+	if end > s.f.Size {
+		end = s.f.Size
+	}
+	s.f.Src.Send(netsim.DataPacket(s.f.ID, s.f.Src.ID(), s.f.Dst.ID(), s.sentNext, int32(end-s.sentNext), 1))
+	s.sentNext = end
+}
+
+// armRetry guards against a lost announcement.
+func (s *sender) armRetry() {
+	s.env.Sched().After(s.env.RTO(), func() {
+		if s.f.Done() {
+			return
+		}
+		if s.sentNext == 0 {
+			s.announce()
+		}
+		s.armRetry()
+	})
+}
+
+type creditInfo struct {
+	ResendSeq int64
+	ResendLen int32
+}
+
+// creditPacer emits credits at the downlink packet rate, round-robin
+// across this host's active inbound flows.
+type creditPacer struct {
+	env    *transport.Env
+	host   *netsim.Host
+	rate   float64
+	queue  []*receiver
+	pacing bool
+}
+
+func (cp *creditPacer) register(rx *receiver) {
+	cp.queue = append(cp.queue, rx)
+	if !cp.pacing {
+		cp.pacing = true
+		cp.tick()
+	}
+}
+
+func (cp *creditPacer) tick() {
+	// Drop finished flows from the rotation.
+	for len(cp.queue) > 0 && (cp.queue[0].done() || cp.queue[0].credited >= cp.queue[0].f.Size) {
+		cp.queue = cp.queue[1:]
+	}
+	if len(cp.queue) == 0 {
+		cp.pacing = false
+		return
+	}
+	rx := cp.queue[0]
+	cp.queue = append(cp.queue[1:], rx)
+	rx.credited += netsim.MSS
+	credit := netsim.CtrlPacket(netsim.Grant, rx.f.ID, rx.f.Dst.ID(), rx.f.Src.ID(), 0)
+	rx.f.Dst.Send(credit)
+	slot := cp.host.Rate().TxTime(netsim.MSS + netsim.HeaderBytes)
+	gap := sim.Time(float64(slot) / cp.rate)
+	cp.env.Sched().After(gap, cp.tick)
+}
+
+// receiver reassembles and requests retransmissions for definite holes.
+type receiver struct {
+	env       *transport.Env
+	f         *transport.Flow
+	r         *transport.Reassembly
+	pacer     *creditPacer
+	credited  int64
+	announced bool
+	retry     *sim.Timer
+}
+
+func (rc *receiver) done() bool { return rc.f.Done() }
+
+// Handle implements netsim.Endpoint.
+func (rc *receiver) Handle(pkt *netsim.Packet) {
+	if pkt.Kind != netsim.Data {
+		return
+	}
+	// The first arrival (normally the one-byte announcement) registers
+	// the flow with the credit pacer.
+	if !rc.announced {
+		rc.announced = true
+		rc.pacer.register(rc)
+	}
+	rc.r.Add(pkt.Seq, pkt.PayloadLen)
+	if rc.r.Complete() {
+		if rc.retry != nil {
+			rc.retry.Stop()
+		}
+		rc.env.Complete(rc.f)
+		return
+	}
+	rc.armRetry()
+}
+
+// armRetry re-requests the first missing packet on an RTO cadence (lost
+// credits or rare data losses on upstream hops).
+func (rc *receiver) armRetry() {
+	if rc.retry != nil {
+		rc.retry.Stop()
+	}
+	rc.retry = rc.env.Sched().After(rc.env.RTO(), func() {
+		if rc.f.Done() || rc.r.Complete() {
+			return
+		}
+		miss := rc.r.FirstMissing()
+		end := rc.r.NextCovered(miss, min64(miss+netsim.MSS, rc.f.Size))
+		credit := netsim.CtrlPacket(netsim.Grant, rc.f.ID, rc.f.Dst.ID(), rc.f.Src.ID(), 0)
+		credit.Meta = creditInfo{ResendSeq: miss, ResendLen: int32(end - miss)}
+		rc.f.Dst.Send(credit)
+		rc.armRetry()
+	})
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,72 @@
+package expresspass
+
+import (
+	"testing"
+
+	"ppt/internal/sim"
+	"ppt/internal/transport"
+	"ppt/internal/transport/transporttest"
+)
+
+func TestSingleFlowCompletes(t *testing.T) {
+	env := transporttest.NewStarEnv(4)
+	sum := transporttest.MustComplete(t, env, New(Config{}), []transport.SimpleFlow{
+		{ID: 1, Src: 0, Dst: 1, Size: 1_000_000},
+	})
+	// Credit-clocked at 10G plus the wasted first RTT.
+	if sum.OverallAvg < 800*sim.Microsecond {
+		t.Fatalf("impossibly fast: %v", sum.OverallAvg)
+	}
+}
+
+func TestFirstRTTWasted(t *testing.T) {
+	// The Table 1 signature: even a one-packet flow needs a full RTT of
+	// credit setup before data moves, so FCT >= ~1.5 RTT.
+	env := transporttest.NewStarEnv(4)
+	sum := transporttest.MustComplete(t, env, New(Config{}), []transport.SimpleFlow{
+		{ID: 1, Src: 0, Dst: 1, Size: 1_000},
+	})
+	if sum.OverallAvg < env.BaseRTT() {
+		t.Fatalf("tiny flow FCT %v under one RTT: first RTT not spent on credits", sum.OverallAvg)
+	}
+}
+
+func TestCreditClockingPreventsOverflow(t *testing.T) {
+	// Heavy incast: data is credit-clocked to the downlink rate, so the
+	// bottleneck queue never overflows.
+	env := transporttest.NewStarEnv(9, transporttest.WithBuffer(60_000))
+	flows := transporttest.IncastFlows(8, 400_000)
+	transporttest.MustComplete(t, env, New(Config{}), flows)
+	var dataDrops int64
+	for _, p := range env.Net.SwitchPorts() {
+		dataDrops += p.Stats.Drops
+	}
+	if dataDrops != 0 {
+		t.Fatalf("credit-clocked data dropped %d packets", dataDrops)
+	}
+}
+
+func TestRoundRobinFairness(t *testing.T) {
+	env := transporttest.NewStarEnv(4)
+	flows := []transport.SimpleFlow{
+		{ID: 1, Src: 1, Dst: 0, Size: 2_000_000},
+		{ID: 2, Src: 2, Dst: 0, Size: 2_000_000},
+	}
+	transporttest.MustComplete(t, env, New(Config{}), flows)
+	recs := env.Collector.Records()
+	a, b := recs[0].FCT(), recs[1].FCT()
+	if a > b*3/2 || b > a*3/2 {
+		t.Fatalf("unfair credits: %v vs %v", a, b)
+	}
+}
+
+func TestReducedCreditRate(t *testing.T) {
+	full := transporttest.MustComplete(t, transporttest.NewStarEnv(4), New(Config{CreditRate: 1.0}),
+		[]transport.SimpleFlow{{ID: 1, Src: 0, Dst: 1, Size: 1_000_000}})
+	half := transporttest.MustComplete(t, transporttest.NewStarEnv(4), New(Config{CreditRate: 0.5}),
+		[]transport.SimpleFlow{{ID: 1, Src: 0, Dst: 1, Size: 1_000_000}})
+	if float64(half.OverallAvg) < 1.6*float64(full.OverallAvg) {
+		t.Fatalf("half-rate credits (%v) not ~2x slower than full rate (%v)",
+			half.OverallAvg, full.OverallAvg)
+	}
+}

@@ -1,0 +1,119 @@
+// Package halfback implements Halfback [23], a Table 1 baseline: short
+// flows (below a size threshold, 141KB in the paper) are paced out
+// entirely in the first RTT — no slow start — and the *back half* of the
+// flow is proactively retransmitted right behind it, trading bandwidth
+// for loss-recovery latency ("run short flows quickly and safely").
+// Larger flows fall back to plain DCTCP. Like the paper's
+// characterization, it helps only the startup phase and ignores spare
+// bandwidth in the queue-buildup phase.
+package halfback
+
+import (
+	"ppt/internal/netsim"
+	"ppt/internal/sim"
+	"ppt/internal/transport"
+	"ppt/internal/transport/dctcp"
+)
+
+// Config tunes Halfback.
+type Config struct {
+	// Threshold is the short-flow cutoff (default 141KB, the paper's
+	// figure for Halfback's first-RTT pacing).
+	Threshold int64
+	// DCTCP configures the fallback loop for large flows.
+	DCTCP dctcp.Config
+}
+
+// Proto is the Halfback protocol factory.
+type Proto struct {
+	Cfg Config
+}
+
+// Name implements transport.Protocol.
+func (Proto) Name() string { return "halfback" }
+
+// Start implements transport.Protocol.
+func (p Proto) Start(env *transport.Env, f *transport.Flow) {
+	threshold := p.Cfg.Threshold
+	if threshold == 0 {
+		threshold = 141_000
+	}
+	if f.Size > threshold {
+		dctcp.Proto{Cfg: p.Cfg.DCTCP}.Start(env, f)
+		return
+	}
+	r := &receiver{env: env, f: f, r: transport.NewReassembly(f.Size)}
+	f.Dst.Bind(f.ID, true, r)
+	s := &sender{env: env, f: f}
+	f.Src.Bind(f.ID, false, s)
+	s.launch()
+}
+
+// sender blasts the whole short flow, then replays the back half.
+type sender struct {
+	env *transport.Env
+	f   *transport.Flow
+}
+
+func (s *sender) launch() {
+	// Whole flow at line rate (the NIC serializes it within ~1 RTT for
+	// sub-BDP flows).
+	for seq := int64(0); seq < s.f.Size; seq += netsim.MSS {
+		s.emit(seq, false)
+	}
+	// Proactive replay of the back half: if any original packet there
+	// was lost to the burst, its copy arrives without waiting for a
+	// timeout.
+	for seq := s.f.Size / 2 / netsim.MSS * netsim.MSS; seq < s.f.Size; seq += netsim.MSS {
+		s.emit(seq, true)
+	}
+	s.armRetry()
+}
+
+func (s *sender) emit(seq int64, retrans bool) {
+	end := seq + netsim.MSS
+	if end > s.f.Size {
+		end = s.f.Size
+	}
+	pkt := netsim.DataPacket(s.f.ID, s.f.Src.ID(), s.f.Dst.ID(), seq, int32(end-seq), 0)
+	pkt.Retrans = retrans
+	s.f.Src.Send(pkt)
+}
+
+// armRetry is the loss backstop: on timeout, replay the whole (short)
+// flow. The delay carries per-flow jitter so synchronized senders whose
+// bursts collided do not collide identically on every retry.
+func (s *sender) armRetry() {
+	jitter := sim.Time(s.f.ID%16) * s.env.BaseRTT() / 4
+	s.env.Sched().After(s.env.RTO()+jitter, func() {
+		if s.f.Done() {
+			return
+		}
+		for seq := int64(0); seq < s.f.Size; seq += netsim.MSS {
+			s.emit(seq, true)
+		}
+		s.armRetry()
+	})
+}
+
+// Handle implements netsim.Endpoint (Halfback needs no ACK clocking for
+// short flows; ACKs only exist so the retry backstop can observe
+// progress through flow completion).
+func (s *sender) Handle(pkt *netsim.Packet) {}
+
+type receiver struct {
+	env *transport.Env
+	f   *transport.Flow
+	r   *transport.Reassembly
+}
+
+// Handle implements netsim.Endpoint.
+func (rc *receiver) Handle(pkt *netsim.Packet) {
+	if pkt.Kind != netsim.Data {
+		return
+	}
+	rc.r.Add(pkt.Seq, pkt.PayloadLen)
+	if rc.r.Complete() {
+		rc.env.Complete(rc.f)
+	}
+}

@@ -1,0 +1,68 @@
+package halfback
+
+import (
+	"testing"
+
+	"ppt/internal/sim"
+	"ppt/internal/transport"
+	"ppt/internal/transport/dctcp"
+	"ppt/internal/transport/transporttest"
+)
+
+func TestShortFlowOneRTT(t *testing.T) {
+	env := transporttest.NewStarEnv(4)
+	sum := transporttest.MustComplete(t, env, Proto{}, []transport.SimpleFlow{
+		{ID: 1, Src: 0, Dst: 1, Size: 50_000},
+	})
+	// Paced out in the 1st RTT: completion ~ serialization + 1 RTT.
+	if sum.OverallAvg > env.BaseRTT()+2*env.BaseRTT() {
+		t.Fatalf("short flow FCT = %v", sum.OverallAvg)
+	}
+}
+
+func TestShortFlowBeatsDCTCPOnIdleNetwork(t *testing.T) {
+	flow := []transport.SimpleFlow{{ID: 1, Src: 0, Dst: 1, Size: 100_000}}
+	hb := transporttest.MustComplete(t, transporttest.NewStarEnv(4), Proto{}, flow)
+	dc := transporttest.MustComplete(t, transporttest.NewStarEnv(4), dctcp.Proto{}, flow)
+	if hb.OverallAvg >= dc.OverallAvg {
+		t.Fatalf("halfback %v not faster than DCTCP %v", hb.OverallAvg, dc.OverallAvg)
+	}
+}
+
+func TestLargeFlowFallsBackToDCTCP(t *testing.T) {
+	env := transporttest.NewStarEnv(4)
+	sum := transporttest.MustComplete(t, env, Proto{}, []transport.SimpleFlow{
+		{ID: 1, Src: 0, Dst: 1, Size: 2_000_000},
+	})
+	// 2MB at 10G = 1.6ms minimum; a line-rate blast would finish near
+	// that, DCTCP fallback takes slow-start time on top.
+	if sum.OverallAvg < 1600*sim.Microsecond {
+		t.Fatalf("large flow impossibly fast (%v): did not fall back", sum.OverallAvg)
+	}
+}
+
+func TestBackHalfReplicated(t *testing.T) {
+	env := transporttest.NewStarEnv(4)
+	transporttest.MustComplete(t, env, Proto{}, []transport.SimpleFlow{
+		{ID: 1, Src: 0, Dst: 1, Size: 100_000},
+	})
+	// Drain the NIC: the run loop stops at the completion event, with
+	// replica packets still queued.
+	env.Sched().RunUntil(env.Now() + 10*env.BaseRTT())
+	nic := env.Net.Hosts[0].NIC()
+	// ~100KB fresh + ~50KB proactive replication.
+	if nic.Stats.TxDataBytes < 140_000 {
+		t.Fatalf("sent only %d bytes: back half not replicated", nic.Stats.TxDataBytes)
+	}
+	if nic.Stats.TxFreshBytes > 101_000 {
+		t.Fatalf("fresh bytes = %d", nic.Stats.TxFreshBytes)
+	}
+}
+
+func TestSurvivesBurstLoss(t *testing.T) {
+	// Tiny buffer: the line-rate blast loses packets; the replicated
+	// back half and the retry backstop must still complete the flow.
+	env := transporttest.NewStarEnv(5, transporttest.WithBuffer(20_000))
+	env.RTOMin = 300 * sim.Microsecond
+	transporttest.MustComplete(t, env, Proto{}, transporttest.IncastFlows(4, 80_000))
+}

@@ -1,0 +1,283 @@
+// Package homa implements the Homa transport [32] at the level of detail
+// the PPT paper evaluates it: a receiver-driven protocol in which
+// senders blindly transmit RTTbytes of "unscheduled" data at line rate
+// when a message starts (the pre-credit phase the paper criticizes), and
+// receivers drive the rest with per-packet grants, overcommitting the
+// downlink to a configurable number of flows chosen SRPT-style by
+// remaining bytes — which requires knowing flow sizes a priori.
+// Loss recovery is timeout-based (as in the Aeolus simulator the paper
+// uses to evaluate Homa), via receiver RESEND requests.
+package homa
+
+import (
+	"sort"
+
+	"ppt/internal/netsim"
+	"ppt/internal/sim"
+	"ppt/internal/transport"
+)
+
+// Config tunes Homa.
+type Config struct {
+	// RTTBytes is the unscheduled allowance and per-flow grant window
+	// (Table 3: 50KB testbed, 45KB simulations). Zero derives it from
+	// the fabric BDP.
+	RTTBytes int64
+	// Overcommit is the number of flows granted concurrently (paper
+	// setting: 2).
+	Overcommit int
+}
+
+func (c Config) withDefaults(env *transport.Env) Config {
+	if c.RTTBytes == 0 {
+		c.RTTBytes = int64(env.BDP())
+	}
+	if c.Overcommit == 0 {
+		c.Overcommit = 2
+	}
+	return c
+}
+
+// dataInfo rides on every data packet so the receiver learns the flow
+// size (Homa's prior-knowledge assumption).
+type dataInfo struct {
+	Size      int64
+	Scheduled bool
+}
+
+// grantInfo rides on Grant packets.
+type grantInfo struct {
+	UpTo int64 // sender may transmit bytes below this offset
+	Prio int8
+}
+
+// resendInfo rides on Ctrl packets: retransmit [Seq, Seq+Len).
+type resendInfo struct {
+	Seq int64
+	Len int64
+}
+
+// Proto is the Homa protocol factory. One Proto instance owns the
+// per-host receiver managers, so use a single instance per run.
+type Proto struct {
+	Cfg Config
+
+	managers map[int32]*rxManager
+}
+
+// New builds a Homa protocol instance.
+func New(cfg Config) *Proto {
+	return &Proto{Cfg: cfg, managers: make(map[int32]*rxManager)}
+}
+
+// Name implements transport.Protocol.
+func (*Proto) Name() string { return "homa" }
+
+// Start implements transport.Protocol.
+func (p *Proto) Start(env *transport.Env, f *transport.Flow) {
+	cfg := p.Cfg.withDefaults(env)
+	mgr := p.managers[f.Dst.ID()]
+	if mgr == nil {
+		mgr = &rxManager{env: env, cfg: cfg, flows: make(map[uint32]*rxFlow)}
+		p.managers[f.Dst.ID()] = mgr
+	}
+	rx := &rxFlow{mgr: mgr, f: f, r: transport.NewReassembly(f.Size), granted: min64(cfg.RTTBytes, f.Size)}
+	mgr.flows[f.ID] = rx
+	f.Dst.Bind(f.ID, true, rx)
+
+	s := &sender{env: env, f: f, cfg: cfg}
+	f.Src.Bind(f.ID, false, s)
+	s.launch()
+}
+
+// unschedPrio picks the unscheduled priority from the flow size: short
+// messages ride P0, longer ones P1 (Homa's CDF-derived cutoffs, reduced
+// to the two unscheduled levels used here).
+func unschedPrio(size, rttBytes int64) int8 {
+	if size <= rttBytes {
+		return 0
+	}
+	return 1
+}
+
+// sender transmits unscheduled bytes blindly, then obeys grants.
+type sender struct {
+	env *transport.Env
+	f   *transport.Flow
+	cfg Config
+
+	sentNext int64 // next new byte to transmit
+	info     dataInfo
+	keep     *sim.Timer // pre-grant keepalive
+	gotRx    bool       // receiver has spoken (grant or resend arrived)
+}
+
+func (s *sender) launch() {
+	s.info = dataInfo{Size: s.f.Size}
+	unsched := min64(s.cfg.RTTBytes, s.f.Size)
+	// Line-rate blind transmission: dump the whole unscheduled span on
+	// the NIC; it serializes at line rate (the pre-credit burst).
+	for s.sentNext < unsched {
+		s.sendChunk(s.sentNext, unsched, unschedPrio(s.f.Size, s.cfg.RTTBytes), false, false)
+	}
+	s.armKeepalive()
+}
+
+// sendChunk emits one MSS-bounded packet of [from, limit) and advances
+// sentNext when it extends new territory.
+func (s *sender) sendChunk(from, limit int64, prio int8, scheduled, retrans bool) {
+	end := from + netsim.MSS
+	if end > limit {
+		end = limit
+	}
+	if end <= from {
+		return
+	}
+	pkt := netsim.DataPacket(s.f.ID, s.f.Src.ID(), s.f.Dst.ID(), from, int32(end-from), prio)
+	pkt.Retrans = retrans
+	pkt.Meta = &dataInfo{Size: s.f.Size, Scheduled: scheduled}
+	s.f.Src.Send(pkt)
+	if end > s.sentNext {
+		s.sentNext = end
+	}
+}
+
+// armKeepalive guards against the receiver never learning of the flow
+// (all unscheduled packets lost): resend the first packet until any
+// receiver signal arrives.
+func (s *sender) armKeepalive() {
+	s.keep = s.env.Sched().After(s.env.RTO(), func() {
+		if s.f.Done() || s.gotRx {
+			return
+		}
+		s.sendChunk(0, min64(netsim.MSS, s.f.Size), 0, false, true)
+		s.armKeepalive()
+	})
+}
+
+// Handle implements netsim.Endpoint (grants and resend requests).
+func (s *sender) Handle(pkt *netsim.Packet) {
+	if s.f.Done() {
+		return
+	}
+	s.gotRx = true
+	switch pkt.Kind {
+	case netsim.Grant:
+		gi := pkt.Meta.(*grantInfo)
+		limit := min64(gi.UpTo, s.f.Size)
+		for s.sentNext < limit {
+			s.sendChunk(s.sentNext, limit, gi.Prio, true, false)
+		}
+	case netsim.Ctrl:
+		ri := pkt.Meta.(*resendInfo)
+		end := min64(ri.Seq+ri.Len, s.f.Size)
+		for seq := ri.Seq; seq < end; seq += netsim.MSS {
+			s.sendChunk(seq, end, 0, true, true)
+		}
+	}
+}
+
+// rxManager is the per-host receiver scheduler: it ranks incomplete
+// inbound flows by remaining bytes (SRPT) and keeps grants flowing to
+// the top Overcommit of them.
+type rxManager struct {
+	env   *transport.Env
+	cfg   Config
+	flows map[uint32]*rxFlow
+}
+
+// pump recomputes the grant schedule after every arrival.
+func (m *rxManager) pump() {
+	if len(m.flows) == 0 {
+		return
+	}
+	active := make([]*rxFlow, 0, len(m.flows))
+	for _, rx := range m.flows {
+		if rx.granted < rx.f.Size {
+			active = append(active, rx)
+		}
+	}
+	sort.Slice(active, func(i, j int) bool {
+		ri := active[i].f.Size - active[i].r.Received()
+		rj := active[j].f.Size - active[j].r.Received()
+		if ri != rj {
+			return ri < rj
+		}
+		return active[i].f.ID < active[j].f.ID
+	})
+	k := m.cfg.Overcommit
+	if k > len(active) {
+		k = len(active)
+	}
+	for rank := 0; rank < k; rank++ {
+		rx := active[rank]
+		prio := int8(2 + rank)
+		if prio > 7 {
+			prio = 7
+		}
+		// Keep RTTBytes outstanding: granted beyond what has arrived.
+		for rx.granted-rx.r.Received() < m.cfg.RTTBytes && rx.granted < rx.f.Size {
+			upTo := min64(rx.granted+netsim.MSS, rx.f.Size)
+			g := netsim.CtrlPacket(netsim.Grant, rx.f.ID, rx.f.Dst.ID(), rx.f.Src.ID(), 0)
+			g.Meta = &grantInfo{UpTo: upTo, Prio: prio}
+			rx.f.Dst.Send(g)
+			rx.granted = upTo
+		}
+	}
+}
+
+// rxFlow is one inbound message.
+type rxFlow struct {
+	mgr     *rxManager
+	f       *transport.Flow
+	r       *transport.Reassembly
+	granted int64
+	retry   *sim.Timer
+}
+
+// Handle implements netsim.Endpoint (data arrivals).
+func (rx *rxFlow) Handle(pkt *netsim.Packet) {
+	if pkt.Kind != netsim.Data {
+		return
+	}
+	rx.r.Add(pkt.Seq, pkt.PayloadLen)
+	if rx.r.Complete() {
+		if rx.retry != nil {
+			rx.retry.Stop()
+		}
+		delete(rx.mgr.flows, rx.f.ID)
+		rx.mgr.env.Complete(rx.f)
+		rx.mgr.pump()
+		return
+	}
+	rx.armRetry()
+	rx.mgr.pump()
+}
+
+// armRetry schedules a timeout-based RESEND for the first gap.
+func (rx *rxFlow) armRetry() {
+	if rx.retry != nil {
+		rx.retry.Stop()
+	}
+	rx.retry = rx.mgr.env.Sched().After(rx.mgr.env.RTO(), func() {
+		if rx.f.Done() || rx.r.Complete() {
+			return
+		}
+		miss := rx.r.FirstMissing()
+		end := rx.r.NextCovered(miss, rx.f.Size)
+		if end-miss > rx.mgr.cfg.RTTBytes {
+			end = miss + rx.mgr.cfg.RTTBytes
+		}
+		req := netsim.CtrlPacket(netsim.Ctrl, rx.f.ID, rx.f.Dst.ID(), rx.f.Src.ID(), 0)
+		req.Meta = &resendInfo{Seq: miss, Len: end - miss}
+		rx.f.Dst.Send(req)
+		rx.armRetry()
+	})
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,283 @@
+// Package hpcc implements HPCC [25]: high-precision congestion control
+// driven by in-band network telemetry. Every data packet gathers per-hop
+// (qlen, txBytes, ts, rate) records; the receiver echoes them on ACKs;
+// the sender estimates per-hop normalized inflight U and sets
+//
+//	W = W_c / (U/η) + W_AI            (multiplicative, U ≥ η)
+//	W = W + W_AI                      (additive, up to maxStage stages)
+//
+// updating the reference window W_c once per RTT. Run HPCC on a fabric
+// built with topo.Config.EnableINT = true.
+package hpcc
+
+import (
+	"ppt/internal/netsim"
+	"ppt/internal/sim"
+	"ppt/internal/transport"
+)
+
+// Config tunes HPCC.
+type Config struct {
+	// Eta is the target utilization η (default 0.95).
+	Eta float64
+	// MaxStage bounds consecutive additive-increase stages (default 5).
+	MaxStage int
+	// WAI is the additive increase in bytes per adjustment (default
+	// MSS/2 — a fraction of a packet, per the paper's guidance for
+	// many concurrent flows).
+	WAI float64
+	// InitWindow in bytes (default: fabric BDP).
+	InitWindow int64
+}
+
+func (c Config) withDefaults(env *transport.Env) Config {
+	if c.Eta == 0 {
+		c.Eta = 0.95
+	}
+	if c.MaxStage == 0 {
+		c.MaxStage = 5
+	}
+	if c.WAI == 0 {
+		c.WAI = netsim.MSS / 2
+	}
+	if c.InitWindow == 0 {
+		c.InitWindow = int64(env.BDP())
+	}
+	return c
+}
+
+// Proto is the HPCC protocol factory.
+type Proto struct {
+	Cfg Config
+}
+
+// Name implements transport.Protocol.
+func (Proto) Name() string { return "hpcc" }
+
+// Start implements transport.Protocol.
+func (p Proto) Start(env *transport.Env, f *transport.Flow) {
+	cfg := p.Cfg.withDefaults(env)
+	r := &receiver{env: env, f: f, r: transport.NewReassembly(f.Size)}
+	f.Dst.Bind(f.ID, true, r)
+	s := &sender{
+		env: env, f: f, cfg: cfg,
+		wnd: float64(cfg.InitWindow), wc: float64(cfg.InitWindow),
+	}
+	f.Src.Bind(f.ID, false, s)
+	s.trySend()
+}
+
+type sender struct {
+	env *transport.Env
+	f   *transport.Flow
+	cfg Config
+
+	wnd          float64 // current window W
+	wc           float64 // reference window W_c
+	incStage     int
+	lastWcUpdate sim.Time
+
+	sndUna, sndNxt int64
+	skip           transport.IntervalSet // bytes delivered by a low loop
+	prevINT        []netsim.INTHop
+	dupAcks        int
+	rto            *sim.Timer
+}
+
+func (s *sender) inflight() int64 {
+	out := s.sndNxt - s.sndUna
+	if out <= 0 {
+		return 0
+	}
+	return out - s.skip.CoveredIn(s.sndUna, s.sndNxt)
+}
+
+func (s *sender) trySend() {
+	if s.f.Done() {
+		return
+	}
+	for s.sndNxt < s.f.Size {
+		if float64(s.inflight())+netsim.MSS > s.wnd && s.inflight() > 0 {
+			break
+		}
+		seq := s.skip.ContiguousFrom(s.sndNxt)
+		end := seq + netsim.MSS
+		if end > s.f.Size {
+			end = s.f.Size
+		}
+		if cov := s.skip.FirstCoveredIn(seq, end); cov < end {
+			end = cov
+		}
+		if seq >= s.f.Size || end <= seq {
+			break
+		}
+		s.transmit(seq, int32(end-seq), false)
+		s.sndNxt = end
+	}
+	s.armRTO()
+}
+
+func (s *sender) transmit(seq int64, n int32, retrans bool) {
+	pkt := netsim.DataPacket(s.f.ID, s.f.Src.ID(), s.f.Dst.ID(), seq, n, 0)
+	pkt.INT = make([]netsim.INTHop, 0, 8)
+	pkt.Retrans = retrans
+	s.f.Src.Send(pkt)
+}
+
+func (s *sender) armRTO() {
+	if s.inflight() <= 0 || s.f.Done() {
+		if s.rto != nil {
+			s.rto.Stop()
+		}
+		return
+	}
+	if s.rto != nil && s.rto.Pending() {
+		return
+	}
+	s.rto = s.env.Sched().After(s.env.RTO(), s.onRTO)
+}
+
+func (s *sender) onRTO() {
+	if s.f.Done() || s.inflight() <= 0 {
+		return
+	}
+	s.sndNxt = s.sndUna
+	s.wnd = netsim.MSS
+	end := s.sndUna + netsim.MSS
+	if end > s.f.Size {
+		end = s.f.Size
+	}
+	s.transmit(s.sndUna, int32(end-s.sndUna), true)
+	s.sndNxt = end
+	s.rto = s.env.Sched().After(s.env.RTO(), s.onRTO)
+}
+
+// Handle implements netsim.Endpoint.
+func (s *sender) Handle(pkt *netsim.Packet) {
+	if s.f.Done() || pkt.Kind != netsim.Ack {
+		return
+	}
+	if ints, ok := pkt.Meta.([]netsim.INTHop); ok && len(ints) > 0 {
+		s.react(ints)
+	}
+	s.processCum(pkt)
+	s.trySend()
+}
+
+// processCum applies the cumulative-ACK bookkeeping shared with the
+// appendix-B variant.
+func (s *sender) processCum(pkt *netsim.Packet) {
+	if pkt.Seq > s.sndUna {
+		s.sndUna = pkt.Seq
+		if s.sndUna > s.sndNxt {
+			s.sndNxt = s.sndUna
+		}
+		s.dupAcks = 0
+		if s.rto != nil {
+			s.rto.Stop()
+		}
+	} else if s.inflight() > 0 {
+		s.dupAcks++
+		if s.dupAcks == 3 {
+			seq := s.skip.ContiguousFrom(s.sndUna)
+			end := seq + netsim.MSS
+			if end > s.f.Size {
+				end = s.f.Size
+			}
+			if end > seq {
+				s.transmit(seq, int32(end-seq), true)
+			}
+			s.dupAcks = 0
+		}
+	}
+}
+
+// react runs the HPCC window computation against echoed telemetry.
+func (s *sender) react(cur []netsim.INTHop) {
+	u := s.reactU(cur)
+	if u == 0 {
+		return
+	}
+	if u >= s.cfg.Eta || s.incStage >= s.cfg.MaxStage {
+		s.wnd = s.wc/(u/s.cfg.Eta) + s.cfg.WAI
+		s.maybeUpdateWc(true)
+	} else {
+		s.wnd = s.wc + s.cfg.WAI
+		s.maybeUpdateWc(false)
+	}
+	if s.wnd < netsim.MSS {
+		s.wnd = netsim.MSS
+	}
+}
+
+// reactU estimates the maximum per-hop normalized inflight U from two
+// consecutive telemetry snapshots (0 until a baseline exists).
+func (s *sender) reactU(cur []netsim.INTHop) float64 {
+	if s.prevINT == nil || len(s.prevINT) != len(cur) {
+		s.prevINT = append([]netsim.INTHop(nil), cur...)
+		return 0
+	}
+	baseT := s.env.BaseRTT().Seconds()
+	u := 0.0
+	for j := range cur {
+		dt := (cur[j].TS - s.prevINT[j].TS).Seconds()
+		if dt <= 0 {
+			continue
+		}
+		bps := float64(cur[j].Rate) / 8 // bytes per second
+		qlen := float64(min64(cur[j].QLen, s.prevINT[j].QLen))
+		txRate := float64(cur[j].TxBytes-s.prevINT[j].TxBytes) / dt
+		uj := qlen/(bps*baseT) + txRate/bps
+		if uj > u {
+			u = uj
+		}
+	}
+	s.prevINT = append(s.prevINT[:0], cur...)
+	return u
+}
+
+// maybeUpdateWc commits the reference window once per base RTT.
+func (s *sender) maybeUpdateWc(mi bool) {
+	now := s.env.Now()
+	if now-s.lastWcUpdate < s.env.BaseRTT() {
+		return
+	}
+	s.lastWcUpdate = now
+	s.wc = s.wnd
+	if mi {
+		s.incStage = 0
+	} else {
+		s.incStage++
+	}
+}
+
+type receiver struct {
+	env *transport.Env
+	f   *transport.Flow
+	r   *transport.Reassembly
+}
+
+// Handle implements netsim.Endpoint: per-packet ACK echoing telemetry.
+func (rc *receiver) Handle(pkt *netsim.Packet) {
+	if pkt.Kind != netsim.Data {
+		return
+	}
+	rc.r.Add(pkt.Seq, pkt.PayloadLen)
+	ack := netsim.CtrlPacket(netsim.Ack, rc.f.ID, rc.f.Dst.ID(), rc.f.Src.ID(), 0)
+	ack.Seq = rc.r.CumAck()
+	ack.EchoTS = pkt.SentAt
+	if len(pkt.INT) > 0 {
+		ack.Meta = pkt.INT
+	}
+	rc.f.Dst.Send(ack)
+	if rc.r.Complete() {
+		rc.env.Complete(rc.f)
+	}
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

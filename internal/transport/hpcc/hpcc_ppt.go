@@ -1,0 +1,142 @@
+package hpcc
+
+import (
+	"ppt/internal/netsim"
+	"ppt/internal/sim"
+	"ppt/internal/transport"
+	"ppt/internal/transport/lowloop"
+)
+
+// Appendix B of the paper sketches PPT's design as a building block for
+// INT-based transports: "one may open a PPT LCP loop to send
+// low-priority opportunistic packets whenever HPCC's estimated in-flight
+// bytes are smaller than BDP". WithPPT implements exactly that: the
+// per-ACK telemetry utilization U gates the low loop (U below the target
+// η means measured spare capacity), sized to the unused share of the
+// BDP, with the standard EWD/ECE machinery from the lowloop package.
+
+// PPTVariant wraps HPCC with PPT's low-priority loop (appendix B).
+type PPTVariant struct {
+	Cfg Config
+}
+
+// Name implements transport.Protocol.
+func (PPTVariant) Name() string { return "hpcc+ppt" }
+
+// Start implements transport.Protocol.
+func (p PPTVariant) Start(env *transport.Env, f *transport.Flow) {
+	cfg := p.Cfg.withDefaults(env)
+	r := &dualReceiver{env: env, f: f, r: transport.NewReassembly(f.Size)}
+	f.Dst.Bind(f.ID, true, r)
+	s := &pptSender{
+		sender: sender{
+			env: env, f: f, cfg: cfg,
+			wnd: float64(cfg.InitWindow), wc: float64(cfg.InitWindow),
+		},
+	}
+	s.loop = lowloop.New(env, f, s)
+	f.Src.Bind(f.ID, false, s)
+	s.trySend()
+}
+
+// pptSender extends the HPCC sender with the low loop.
+type pptSender struct {
+	sender
+	loop      *lowloop.Loop
+	loopOpens int
+	lastU     float64
+}
+
+// Frontier implements lowloop.Host.
+func (s *pptSender) Frontier() int64 { return s.sndNxt }
+
+// Window implements lowloop.Host.
+func (s *pptSender) Window() float64 { return s.wnd }
+
+// RTT implements lowloop.Host.
+func (s *pptSender) RTT() sim.Time { return s.env.BaseRTT() }
+
+// LowPrio implements lowloop.Host: HPCC has no per-flow scheduling, so
+// all opportunistic packets ride the first low priority.
+func (s *pptSender) LowPrio() int8 { return 4 }
+
+// SkipSet implements lowloop.Host.
+func (s *pptSender) SkipSet() *transport.IntervalSet { return &s.skip }
+
+// OnSkipUpdate implements lowloop.Host.
+func (s *pptSender) OnSkipUpdate() { s.trySend() }
+
+// Handle implements netsim.Endpoint.
+func (s *pptSender) Handle(pkt *netsim.Packet) {
+	if s.f.Done() || pkt.Kind != netsim.Ack {
+		return
+	}
+	if pkt.LowLoop {
+		s.loop.OnLowAck(pkt)
+		return
+	}
+	if ints, ok := pkt.Meta.([]netsim.INTHop); ok && len(ints) > 0 {
+		s.lastU = s.reactU(ints)
+		// The appendix-B trigger: telemetry says the path has spare
+		// capacity for opportunistic packets.
+		if s.lastU > 0 && s.lastU < s.cfg.Eta && !s.loop.Active() {
+			i := int64((1 - s.lastU) * float64(s.env.BDP()))
+			s.loop.Open(i, s.loopOpens > 0)
+			s.loopOpens++
+		}
+	}
+	s.processCum(pkt)
+	s.trySend()
+}
+
+// dualReceiver acks HPCC data per packet with INT echo and coalesces
+// opportunistic arrivals 2:1 into low-priority ACKs.
+type dualReceiver struct {
+	env *transport.Env
+	f   *transport.Flow
+	r   *transport.Reassembly
+
+	pendingSeq int64
+	pendingLen int32
+	pendingCE  bool
+	hasPending bool
+}
+
+// Handle implements netsim.Endpoint.
+func (rc *dualReceiver) Handle(pkt *netsim.Packet) {
+	if pkt.Kind != netsim.Data {
+		return
+	}
+	added := rc.r.Add(pkt.Seq, pkt.PayloadLen)
+	if pkt.LowLoop {
+		rc.env.Eff.UsefulLow += added
+		if !rc.hasPending {
+			rc.pendingSeq, rc.pendingLen, rc.pendingCE = pkt.Seq, pkt.PayloadLen, pkt.CE
+			rc.hasPending = true
+		} else {
+			ack := netsim.CtrlPacket(netsim.Ack, rc.f.ID, rc.f.Dst.ID(), rc.f.Src.ID(), pkt.Prio)
+			ack.LowLoop = true
+			ack.Seq = rc.r.CumAck()
+			ack.ECE = pkt.CE || rc.pendingCE
+			ack.EchoTS = pkt.SentAt
+			ack.Meta = &transport.AckMeta{
+				LowSeqs: [2]int64{rc.pendingSeq, pkt.Seq},
+				LowLens: [2]int32{rc.pendingLen, pkt.PayloadLen},
+				LowN:    2,
+			}
+			rc.hasPending = false
+			rc.f.Dst.Send(ack)
+		}
+	} else {
+		ack := netsim.CtrlPacket(netsim.Ack, rc.f.ID, rc.f.Dst.ID(), rc.f.Src.ID(), 0)
+		ack.Seq = rc.r.CumAck()
+		ack.EchoTS = pkt.SentAt
+		if len(pkt.INT) > 0 {
+			ack.Meta = pkt.INT
+		}
+		rc.f.Dst.Send(ack)
+	}
+	if rc.r.Complete() {
+		rc.env.Complete(rc.f)
+	}
+}

@@ -1,0 +1,93 @@
+package hpcc
+
+import (
+	"testing"
+
+	"ppt/internal/netsim"
+	"ppt/internal/sim"
+	"ppt/internal/transport"
+	"ppt/internal/transport/transporttest"
+)
+
+func TestSingleFlowCompletes(t *testing.T) {
+	env := transporttest.NewStarEnv(4, transporttest.WithINT())
+	sum := transporttest.MustComplete(t, env, Proto{}, []transport.SimpleFlow{
+		{ID: 1, Src: 0, Dst: 1, Size: 2_000_000},
+	})
+	if sum.OverallAvg < 1600*sim.Microsecond {
+		t.Fatalf("impossibly fast: %v", sum.OverallAvg)
+	}
+}
+
+func TestStartsAtFullBDP(t *testing.T) {
+	// HPCC starts at line rate (window = BDP), so a BDP-sized flow
+	// completes in ~1 RTT — no slow start.
+	env := transporttest.NewStarEnv(4, transporttest.WithINT())
+	size := int64(env.BDP())
+	sum := transporttest.MustComplete(t, env, Proto{}, []transport.SimpleFlow{
+		{ID: 1, Src: 0, Dst: 1, Size: size},
+	})
+	if sum.OverallAvg > 2*env.BaseRTT() {
+		t.Fatalf("BDP flow took %v, want ~1 RTT (%v)", sum.OverallAvg, env.BaseRTT())
+	}
+}
+
+func TestConvergesWithoutDrops(t *testing.T) {
+	// Two elephants sharing a bottleneck: INT feedback must keep the
+	// queue controlled well below overflow.
+	env := transporttest.NewStarEnv(4, transporttest.WithINT(), transporttest.WithBuffer(500_000))
+	flows := []transport.SimpleFlow{
+		{ID: 1, Src: 0, Dst: 2, Size: 5_000_000},
+		{ID: 2, Src: 1, Dst: 2, Size: 5_000_000},
+	}
+	transporttest.MustComplete(t, env, Proto{}, flows)
+	var drops int64
+	for _, p := range env.Net.SwitchPorts() {
+		drops += p.Stats.Drops
+	}
+	if drops != 0 {
+		t.Fatalf("HPCC dropped %d packets", drops)
+	}
+}
+
+func TestReactShrinksWindowAtHighUtilization(t *testing.T) {
+	env := transporttest.NewStarEnv(4, transporttest.WithINT())
+	f := &transport.Flow{ID: 1, Src: env.Net.Hosts[0], Dst: env.Net.Hosts[1], Size: 1 << 30}
+	cfg := Config{}.withDefaults(env)
+	s := &sender{env: env, f: f, cfg: cfg, wnd: float64(cfg.InitWindow), wc: float64(cfg.InitWindow)}
+	baseT := env.BaseRTT()
+	// First sample establishes the baseline.
+	s.react([]netsim.INTHop{{QLen: 0, TxBytes: 0, TS: 0, Rate: 10 * netsim.Gbps}})
+	// Second sample: link fully utilized with a standing queue.
+	bytesPerRTT := int64(float64(10*netsim.Gbps) / 8 * baseT.Seconds())
+	s.react([]netsim.INTHop{{QLen: 100_000, TxBytes: bytesPerRTT, TS: baseT, Rate: 10 * netsim.Gbps}})
+	if s.wnd >= float64(cfg.InitWindow) {
+		t.Fatalf("window %v did not shrink under U>η", s.wnd)
+	}
+}
+
+func TestReactGrowsWindowWhenIdle(t *testing.T) {
+	env := transporttest.NewStarEnv(4, transporttest.WithINT())
+	f := &transport.Flow{ID: 1, Src: env.Net.Hosts[0], Dst: env.Net.Hosts[1], Size: 1 << 30}
+	cfg := Config{}.withDefaults(env)
+	s := &sender{env: env, f: f, cfg: cfg, wnd: float64(cfg.InitWindow) / 2, wc: float64(cfg.InitWindow) / 2}
+	baseT := env.BaseRTT()
+	s.react([]netsim.INTHop{{QLen: 0, TxBytes: 0, TS: 0, Rate: 10 * netsim.Gbps}})
+	// 30% utilization, empty queue.
+	tx := int64(float64(10*netsim.Gbps) / 8 * baseT.Seconds() * 0.3)
+	s.react([]netsim.INTHop{{QLen: 0, TxBytes: tx, TS: baseT, Rate: 10 * netsim.Gbps}})
+	if s.wnd <= float64(cfg.InitWindow)/2 {
+		t.Fatalf("window %v did not grow at U=0.3", s.wnd)
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	env := transporttest.NewStarEnv(2)
+	cfg := Config{}.withDefaults(env)
+	if cfg.Eta != 0.95 || cfg.MaxStage != 5 {
+		t.Fatalf("defaults = %+v", cfg)
+	}
+	if cfg.InitWindow != int64(env.BDP()) {
+		t.Fatalf("InitWindow = %d", cfg.InitWindow)
+	}
+}

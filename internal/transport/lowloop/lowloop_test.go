@@ -1,0 +1,177 @@
+package lowloop
+
+import (
+	"testing"
+
+	"ppt/internal/netsim"
+	"ppt/internal/sim"
+	"ppt/internal/transport"
+	"ppt/internal/transport/transporttest"
+)
+
+// fakeHost is a minimal high loop for driving the low loop directly.
+type fakeHost struct {
+	frontier int64
+	window   float64
+	rtt      sim.Time
+	skip     transport.IntervalSet
+	skipUps  int
+}
+
+func (h *fakeHost) Frontier() int64                 { return h.frontier }
+func (h *fakeHost) Window() float64                 { return h.window }
+func (h *fakeHost) RTT() sim.Time                   { return h.rtt }
+func (h *fakeHost) LowPrio() int8                   { return 5 }
+func (h *fakeHost) SkipSet() *transport.IntervalSet { return &h.skip }
+func (h *fakeHost) OnSkipUpdate()                   { h.skipUps++ }
+
+func setup(t *testing.T, size int64) (*Loop, *fakeHost, *transport.Env) {
+	t.Helper()
+	env := transporttest.NewStarEnv(3)
+	f := &transport.Flow{ID: 1, Src: env.Net.Hosts[0], Dst: env.Net.Hosts[1], Size: size}
+	h := &fakeHost{frontier: 14_480, window: 14_480, rtt: env.BaseRTT()}
+	return New(env, f, h), h, env
+}
+
+func TestOpenSendsPacedWindow(t *testing.T) {
+	l, _, env := setup(t, 10_000_000)
+	l.Open(10*netsim.MSS, false)
+	if !l.Active() {
+		t.Fatal("loop not active after open")
+	}
+	env.Sched().RunUntil(2 * env.BaseRTT())
+	if l.OppSent() < 9*netsim.MSS {
+		t.Fatalf("paced out only %d bytes", l.OppSent())
+	}
+}
+
+func TestOpenRejectsTinyWindow(t *testing.T) {
+	l, _, _ := setup(t, 10_000_000)
+	l.Open(netsim.MSS-1, false)
+	if l.Active() {
+		t.Fatal("opened with sub-MSS window")
+	}
+}
+
+func TestOpenRejectsWhenCrossed(t *testing.T) {
+	l, h, _ := setup(t, 100_000)
+	h.frontier = 100_000 // high loop already covers everything
+	l.Open(10*netsim.MSS, false)
+	if l.Active() {
+		t.Fatal("opened past the crossing point")
+	}
+}
+
+func TestGuardedOpenCapsToSpareGap(t *testing.T) {
+	l, h, _ := setup(t, 100_000)
+	h.frontier = 50_000
+	h.window = 20_000
+	// Gap beyond two windows: 100000-50000-40000 = 10000 < requested.
+	l.Open(50_000, true)
+	if !l.Active() {
+		t.Fatal("guarded open refused a positive spare gap")
+	}
+	// And with no spare gap at all it must refuse.
+	l2, h2, _ := setup(t, 100_000)
+	h2.frontier = 70_000
+	h2.window = 20_000
+	l2.Open(50_000, true)
+	if l2.Active() {
+		t.Fatal("guarded open accepted with no spare gap")
+	}
+}
+
+func TestLowAckClocksOnePacket(t *testing.T) {
+	l, _, env := setup(t, 10_000_000)
+	l.Open(4*netsim.MSS, false)
+	env.Sched().RunUntil(env.BaseRTT()) // paced out, loop still alive
+	sent := l.OppSent()
+	ack := netsim.CtrlPacket(netsim.Ack, 1, 1, 0, 5)
+	ack.LowLoop = true
+	l.OnLowAck(ack)
+	if l.OppSent() != sent+netsim.MSS {
+		t.Fatalf("clean low ACK sent %d new bytes, want one MSS", l.OppSent()-sent)
+	}
+}
+
+func TestECESuppresses(t *testing.T) {
+	l, _, env := setup(t, 10_000_000)
+	l.Open(4*netsim.MSS, false)
+	env.Sched().RunUntil(env.BaseRTT())
+	sent := l.OppSent()
+	ece := netsim.CtrlPacket(netsim.Ack, 1, 1, 0, 5)
+	ece.LowLoop = true
+	ece.ECE = true
+	l.OnLowAck(ece)
+	if l.OppSent() != sent {
+		t.Fatal("ECE low ACK clocked out a packet")
+	}
+}
+
+func TestAckUpdatesSkipAndNotifiesHost(t *testing.T) {
+	l, h, _ := setup(t, 10_000_000)
+	ack := netsim.CtrlPacket(netsim.Ack, 1, 1, 0, 5)
+	ack.LowLoop = true
+	ack.Meta = &transport.AckMeta{
+		LowSeqs: [2]int64{9_000_000, 9_500_000},
+		LowLens: [2]int32{netsim.MSS, netsim.MSS},
+		LowN:    2,
+	}
+	l.OnLowAck(ack)
+	if !h.skip.Contains(9_000_000, 9_000_000+netsim.MSS) {
+		t.Fatal("skip set not updated")
+	}
+	if h.skipUps != 1 {
+		t.Fatalf("host notified %d times", h.skipUps)
+	}
+}
+
+func TestTerminatesAfterSilence(t *testing.T) {
+	l, _, env := setup(t, 10_000_000)
+	l.Open(4*netsim.MSS, false)
+	env.Sched().RunUntil(10 * env.BaseRTT())
+	if l.Active() {
+		t.Fatal("loop still active after 10 silent RTTs")
+	}
+}
+
+func TestReopenGatedOnBacklog(t *testing.T) {
+	l, _, env := setup(t, 10_000_000)
+	l.Open(4*netsim.MSS, false)
+	env.Sched().RunUntil(10 * env.BaseRTT()) // terminate with inflight unacked
+	l.Open(4*netsim.MSS, false)
+	if l.Active() {
+		t.Fatal("reopened while the previous injection is unacknowledged")
+	}
+	// ACK the backlog; now it may reopen.
+	for i := 0; i < 2; i++ {
+		ack := netsim.CtrlPacket(netsim.Ack, 1, 1, 0, 5)
+		ack.LowLoop = true
+		ack.Meta = &transport.AckMeta{
+			LowSeqs: [2]int64{10_000_000 - int64(2*i+1)*netsim.MSS, 10_000_000 - int64(2*i+2)*netsim.MSS},
+			LowLens: [2]int32{netsim.MSS, netsim.MSS},
+			LowN:    2,
+		}
+		l.OnLowAck(ack)
+	}
+	l.Open(4*netsim.MSS, false)
+	if !l.Active() {
+		t.Fatal("did not reopen after backlog cleared")
+	}
+}
+
+func TestSendSkipsDeliveredTail(t *testing.T) {
+	l, h, env := setup(t, 10_000_000)
+	// The last two MSS were already delivered (and acked).
+	h.skip.Add(10_000_000-2*netsim.MSS, 10_000_000)
+	l.Open(2*netsim.MSS, false)
+	env.Sched().RunUntil(2 * env.BaseRTT())
+	if l.OppSent() == 0 {
+		t.Fatal("nothing sent")
+	}
+	// The loop must have descended below the delivered suffix: its
+	// frontier is under 10MB - 2 MSS.
+	if l.tailNext >= 10_000_000-2*netsim.MSS {
+		t.Fatalf("tailNext = %d did not skip the delivered suffix", l.tailNext)
+	}
+}

@@ -1,0 +1,226 @@
+// Package ndp implements NDP [15]: senders transmit a full initial
+// window at line rate; switches configured with TrimToHeader cut the
+// payload of overflowing data packets and forward the headers at the
+// highest priority; receivers NACK trimmed packets (the sender queues
+// them for retransmission) and pace PULL packets at their downlink rate,
+// each pull clocking out one packet at the sender.
+//
+// Run NDP on a fabric built with topo.Config.TrimToHeader = true; on a
+// drop-tail fabric it degenerates to timeout recovery.
+package ndp
+
+import (
+	"ppt/internal/netsim"
+	"ppt/internal/sim"
+	"ppt/internal/transport"
+)
+
+// Config tunes NDP.
+type Config struct {
+	// InitWindow is the blind first-RTT window (default: fabric BDP).
+	InitWindow int64
+	// DataPrio is the priority data packets travel at; trimmed headers,
+	// NACKs and PULLs ride P0.
+	DataPrio int8
+}
+
+func (c Config) withDefaults(env *transport.Env) Config {
+	if c.InitWindow == 0 {
+		c.InitWindow = int64(env.BDP())
+	}
+	if c.DataPrio == 0 {
+		c.DataPrio = 1
+	}
+	return c
+}
+
+// nackInfo identifies a trimmed packet to retransmit.
+type nackInfo struct {
+	Seq int64
+	Len int32
+}
+
+// Proto is the NDP protocol factory; one instance per run (it owns the
+// per-host pull pacers).
+type Proto struct {
+	Cfg    Config
+	pacers map[int32]*pullPacer
+}
+
+// New builds an NDP protocol instance.
+func New(cfg Config) *Proto {
+	return &Proto{Cfg: cfg, pacers: make(map[int32]*pullPacer)}
+}
+
+// Name implements transport.Protocol.
+func (*Proto) Name() string { return "ndp" }
+
+// Start implements transport.Protocol.
+func (p *Proto) Start(env *transport.Env, f *transport.Flow) {
+	cfg := p.Cfg.withDefaults(env)
+	pacer := p.pacers[f.Dst.ID()]
+	if pacer == nil {
+		pacer = &pullPacer{env: env, host: f.Dst}
+		p.pacers[f.Dst.ID()] = pacer
+	}
+	rx := &receiver{env: env, f: f, r: transport.NewReassembly(f.Size), pacer: pacer}
+	f.Dst.Bind(f.ID, true, rx)
+	s := &sender{env: env, f: f, cfg: cfg}
+	f.Src.Bind(f.ID, false, s)
+	s.launch()
+}
+
+// sender is window-blind: first window at line rate, then purely
+// pull-clocked.
+type sender struct {
+	env *transport.Env
+	f   *transport.Flow
+	cfg Config
+
+	sentNext int64
+	rtxQueue []nackInfo
+}
+
+func (s *sender) launch() {
+	limit := s.cfg.InitWindow
+	if limit > s.f.Size {
+		limit = s.f.Size
+	}
+	for s.sentNext < limit {
+		s.sendNext(limit)
+	}
+}
+
+func (s *sender) sendNext(limit int64) {
+	end := s.sentNext + netsim.MSS
+	if end > limit {
+		end = limit
+	}
+	if end <= s.sentNext {
+		return
+	}
+	pkt := netsim.DataPacket(s.f.ID, s.f.Src.ID(), s.f.Dst.ID(), s.sentNext, int32(end-s.sentNext), s.cfg.DataPrio)
+	s.f.Src.Send(pkt)
+	s.sentNext = end
+}
+
+// Handle implements netsim.Endpoint: NACKs queue retransmissions, PULLs
+// clock out one packet (retransmission first).
+func (s *sender) Handle(pkt *netsim.Packet) {
+	if s.f.Done() {
+		return
+	}
+	switch pkt.Kind {
+	case netsim.Ctrl: // NACK for a trimmed packet
+		ni := pkt.Meta.(nackInfo)
+		s.rtxQueue = append(s.rtxQueue, ni)
+	case netsim.Pull:
+		if len(s.rtxQueue) > 0 {
+			ni := s.rtxQueue[0]
+			s.rtxQueue = s.rtxQueue[1:]
+			rp := netsim.DataPacket(s.f.ID, s.f.Src.ID(), s.f.Dst.ID(), ni.Seq, ni.Len, s.cfg.DataPrio)
+			rp.Retrans = true
+			s.f.Src.Send(rp)
+			return
+		}
+		s.sendNext(s.f.Size)
+	}
+}
+
+// pullPacer serializes PULL transmission per receiving host at its
+// downlink packet rate, across all of the host's inbound NDP flows.
+type pullPacer struct {
+	env    *transport.Env
+	host   *netsim.Host
+	queue  []*netsim.Packet
+	pacing bool
+}
+
+func (pp *pullPacer) enqueue(pull *netsim.Packet) {
+	pp.queue = append(pp.queue, pull)
+	if !pp.pacing {
+		pp.pacing = true
+		pp.sendOne()
+	}
+}
+
+func (pp *pullPacer) sendOne() {
+	if len(pp.queue) == 0 {
+		pp.pacing = false
+		return
+	}
+	pull := pp.queue[0]
+	pp.queue[0] = nil
+	pp.queue = pp.queue[1:]
+	pp.host.Send(pull)
+	gap := pp.host.Rate().TxTime(netsim.MSS + netsim.HeaderBytes)
+	pp.env.Sched().After(gap, pp.sendOne)
+}
+
+// receiver reassembles, NACKs trimmed arrivals, and pulls.
+type receiver struct {
+	env   *transport.Env
+	f     *transport.Flow
+	r     *transport.Reassembly
+	pacer *pullPacer
+	retry *sim.Timer
+}
+
+// Handle implements netsim.Endpoint.
+func (rc *receiver) Handle(pkt *netsim.Packet) {
+	if pkt.Kind != netsim.Data {
+		return
+	}
+	if pkt.Trimmed {
+		// Header survived: tell the sender immediately, then pull.
+		nack := netsim.CtrlPacket(netsim.Ctrl, rc.f.ID, rc.f.Dst.ID(), rc.f.Src.ID(), 0)
+		nack.Meta = nackInfo{Seq: pkt.Seq, Len: pkt.PayloadLen}
+		rc.f.Dst.Send(nack)
+	} else {
+		rc.r.Add(pkt.Seq, pkt.PayloadLen)
+		if rc.r.Complete() {
+			if rc.retry != nil {
+				rc.retry.Stop()
+			}
+			rc.env.Complete(rc.f)
+			return
+		}
+	}
+	rc.armRetry()
+	// One pull per arrival while the flow is incomplete: arrivals for
+	// data we already hold still clock out pulls, which covers pulls
+	// consumed by retransmissions of trimmed packets. Spurious trailing
+	// pulls are harmless (the sender no-ops when nothing remains).
+	pull := netsim.CtrlPacket(netsim.Pull, rc.f.ID, rc.f.Dst.ID(), rc.f.Src.ID(), 0)
+	rc.pacer.enqueue(pull)
+}
+
+// armRetry is the tail-loss backstop: if the flow stalls (e.g. the last
+// data packet or a pull was lost on a drop-tail fabric), issue a fresh
+// pull and NACK the first gap.
+func (rc *receiver) armRetry() {
+	if rc.retry != nil {
+		rc.retry.Stop()
+	}
+	rc.retry = rc.env.Sched().After(rc.env.RTO(), func() {
+		if rc.f.Done() || rc.r.Complete() {
+			return
+		}
+		miss := rc.r.FirstMissing()
+		end := rc.r.NextCovered(miss, rc.f.Size)
+		n := int32(min64(end-miss, netsim.MSS))
+		nack := netsim.CtrlPacket(netsim.Ctrl, rc.f.ID, rc.f.Dst.ID(), rc.f.Src.ID(), 0)
+		nack.Meta = nackInfo{Seq: miss, Len: n}
+		rc.f.Dst.Send(nack)
+		pull := netsim.CtrlPacket(netsim.Pull, rc.f.ID, rc.f.Dst.ID(), rc.f.Src.ID(), 0)
+		rc.pacer.enqueue(pull)
+		rc.armRetry()
+	})
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

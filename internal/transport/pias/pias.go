@@ -1,0 +1,56 @@
+// Package pias implements PIAS [9]: information-agnostic flow scheduling
+// on top of DCTCP. Every flow starts at the highest priority and is
+// demoted through the switch priority queues as it sends more bytes,
+// approximating least-attained-service without knowing flow sizes.
+//
+// PIAS uses all eight priorities (it has no low-priority loop), with
+// demotion thresholds tuned per workload; the defaults here follow the
+// roughly-geometric spacing the PIAS paper derives for heavy-tailed
+// datacenter workloads.
+package pias
+
+import (
+	"ppt/internal/transport"
+	"ppt/internal/transport/dctcp"
+)
+
+// DefaultThresholds demote a flow through P0..P7 as bytes are sent.
+var DefaultThresholds = [7]int64{
+	50_000, 100_000, 200_000, 500_000, 1_000_000, 5_000_000, 20_000_000,
+}
+
+// Config tunes PIAS.
+type Config struct {
+	DCTCP      dctcp.Config
+	Thresholds [7]int64
+}
+
+// Proto is the PIAS protocol factory.
+type Proto struct {
+	Cfg Config
+}
+
+// Name implements transport.Protocol.
+func (Proto) Name() string { return "pias" }
+
+// Start implements transport.Protocol.
+func (p Proto) Start(env *transport.Env, f *transport.Flow) {
+	th := p.Cfg.Thresholds
+	if th == ([7]int64{}) {
+		th = DefaultThresholds
+	}
+	cfg := p.Cfg.DCTCP
+	cfg.Prio = func(sent int64) int8 {
+		for i, t := range th {
+			if sent < t {
+				return int8(i)
+			}
+		}
+		return 7
+	}
+	r := dctcp.NewReceiver(env, f)
+	f.Dst.Bind(f.ID, true, r)
+	s := dctcp.NewSender(env, f, cfg)
+	f.Src.Bind(f.ID, false, s)
+	s.Launch()
+}

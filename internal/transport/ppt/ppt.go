@@ -1,0 +1,568 @@
+// Package ppt implements the paper's contribution: a pragmatic transport
+// that runs DCTCP unchanged as a high-priority control loop (HCP) and
+// adds a low-priority control loop (LCP) sending opportunistic packets
+// from the tail of the same flow to fill the spare bandwidth.
+//
+// The three mechanisms of §3 and §4 appear here directly:
+//
+//   - Intermittent loop initialization (§3.1): an LCP loop opens at flow
+//     start with I = BDP − IW (delayed one RTT for identified-large
+//     flows) and, after slow start, whenever the flow's DCTCP α reaches
+//     its minimum over recent RTTs, with I = (½ − α_min)·W_max.
+//   - Exponential window decreasing (§3.2): the initial window is paced
+//     over one RTT; afterwards the receiver returns one low-priority ACK
+//     per two opportunistic arrivals and the sender sends one packet per
+//     non-ECE low-priority ACK, halving the LCP rate every RTT. A loop
+//     terminates after two RTTs without low-priority ACKs.
+//   - Buffer-aware flow scheduling (§4): flows whose first syscall
+//     exceeds the identification threshold are tagged large; packets are
+//     tagged with mirror-symmetric priorities (HCP P0–P3, LCP P4–P7)
+//     demoted as bytes are sent.
+//
+// Ablation switches reproduce the deep-dive variants of §6.3: DisableECN
+// (Fig 15), DisableEWD (Fig 16), DisableScheduling (Fig 17),
+// DisableIdentification (Fig 18).
+package ppt
+
+import (
+	"ppt/internal/netsim"
+	"ppt/internal/sim"
+	"ppt/internal/transport"
+	"ppt/internal/transport/dctcp"
+)
+
+// Config tunes PPT.
+type Config struct {
+	// DCTCP configures the embedded HCP loop.
+	DCTCP dctcp.Config
+
+	// IdentifyThreshold is the buffer-aware classifier's first-syscall
+	// byte threshold (default 100KB, Table 3).
+	IdentifyThreshold int64
+
+	// DemoteThresholds are the bytes-sent boundaries at which an
+	// unidentified flow moves from P0→P1→P2→P3 (mirror P4→…→P7).
+	DemoteThresholds [3]int64
+
+	// AlphaHistory is how many recent per-RTT α observations the
+	// case-2 trigger scans for the minimum (default 16).
+	AlphaHistory int
+
+	// SendBuf models the kernel TCP send buffer (§4.1, Fig 27): the
+	// LCP can only transmit bytes already copied into the buffer, i.e.
+	// within SendBuf of the cumulative ACK. Zero means effectively
+	// unbounded (the paper's 2GB setting).
+	SendBuf int64
+
+	// Ablations (all false in real PPT).
+	DisableECN            bool // LCP ignores ECE (Fig 15)
+	DisableEWD            bool // LCP sends at line rate, no 2:1 clock (Fig 16)
+	DisableScheduling     bool // no per-flow priorities: HCP=P0, LCP=P4 (Fig 17)
+	DisableIdentification bool // treat every flow as unidentified (Fig 18)
+	DisableLCP            bool // degenerate to plain DCTCP with tagging
+
+	// NoDelayLCPForLarge disables §3.1's one-RTT delay of the case-1
+	// loop for identified-large flows (ablation studies only).
+	NoDelayLCPForLarge bool
+
+	// OnFlowState, when set, is invoked on every per-window α update
+	// with a snapshot of the dual-loop state — the instrumentation
+	// behind the Fig 5-style dynamics traces.
+	OnFlowState func(flowID uint32, now sim.Time, st FlowState)
+}
+
+// FlowState is one dual-loop snapshot (see Config.OnFlowState).
+type FlowState struct {
+	Cwnd      float64 // HCP congestion window (bytes)
+	Alpha     float64 // DCTCP α estimate
+	Wmax      float64 // max window since slow-start exit
+	LCPActive bool    // low loop currently open
+	OppSent   int64   // cumulative opportunistic payload bytes
+	SndUna    int64   // HCP cumulative-ACK frontier
+	TailNext  int64   // LCP tail frontier
+}
+
+func (c Config) withDefaults() Config {
+	if c.IdentifyThreshold == 0 {
+		c.IdentifyThreshold = 100_000
+	}
+	if c.DemoteThresholds == [3]int64{} {
+		c.DemoteThresholds = [3]int64{100_000, 1_000_000, 10_000_000}
+	}
+	if c.AlphaHistory == 0 {
+		c.AlphaHistory = 16
+	}
+	return c
+}
+
+// Debug counters (reset per process; used by diagnostic harnesses).
+var Debug struct {
+	PacedPkts, ClockedPkts     int64
+	Case1Opens, Case2Opens     int64
+	DupLowBytes, NewLowBytes   int64
+	DupHighBytes, NewHighBytes int64
+}
+
+// Proto is the PPT protocol factory.
+type Proto struct {
+	Cfg Config
+}
+
+// Name implements transport.Protocol.
+func (p Proto) Name() string {
+	switch {
+	case p.Cfg.DisableECN:
+		return "ppt-noecn"
+	case p.Cfg.DisableEWD:
+		return "ppt-noewd"
+	case p.Cfg.DisableScheduling:
+		return "ppt-nosched"
+	case p.Cfg.DisableIdentification:
+		return "ppt-noident"
+	default:
+		return "ppt"
+	}
+}
+
+// Start implements transport.Protocol.
+func (p Proto) Start(env *transport.Env, f *transport.Flow) {
+	cfg := p.Cfg.withDefaults()
+
+	// Buffer-aware identification (§4.1): the first syscall's size
+	// against the threshold.
+	if !cfg.DisableIdentification && f.FirstCall > cfg.IdentifyThreshold {
+		f.IdentifiedLarge = true
+	}
+
+	r := newReceiver(env, f, cfg)
+	f.Dst.Bind(f.ID, true, r)
+	s := newSender(env, f, cfg)
+	f.Src.Bind(f.ID, false, s)
+	s.launch()
+}
+
+// hcpPrio implements the mirror-symmetric tagging of §4.2 for the high
+// part (P0–P3); the LCP mirror adds 4.
+func hcpPrio(cfg Config, f *transport.Flow, bytesSent int64) int8 {
+	if cfg.DisableScheduling {
+		return 0
+	}
+	if f.IdentifiedLarge {
+		return 3
+	}
+	for i, th := range cfg.DemoteThresholds {
+		if bytesSent < th {
+			return int8(i)
+		}
+	}
+	return 3
+}
+
+// sender couples the unchanged DCTCP sender (HCP) with the LCP loop.
+type sender struct {
+	env *transport.Env
+	f   *transport.Flow
+	cfg Config
+	hcp *dctcp.Sender
+	lcp *lcpLoop
+}
+
+func newSender(env *transport.Env, f *transport.Flow, cfg Config) *sender {
+	s := &sender{env: env, f: f, cfg: cfg}
+	dcfg := cfg.DCTCP
+	dcfg.Prio = func(sent int64) int8 { return hcpPrio(cfg, f, sent) }
+	s.hcp = dctcp.NewSender(env, f, dcfg)
+	if !cfg.DisableLCP {
+		s.lcp = newLCPLoop(s)
+		s.hcp.OnAlpha = s.lcp.onAlpha
+	}
+	if cfg.OnFlowState != nil {
+		prev := s.hcp.OnAlpha
+		s.hcp.OnAlpha = func(alpha float64) {
+			if prev != nil {
+				prev(alpha)
+			}
+			st := FlowState{
+				Cwnd: s.hcp.Cwnd, Alpha: s.hcp.Alpha, Wmax: s.hcp.Wmax,
+				SndUna: s.hcp.SndUna,
+			}
+			if s.lcp != nil {
+				st.LCPActive = s.lcp.active
+				st.OppSent = s.lcp.oppSent
+				st.TailNext = s.lcp.tailNext
+			}
+			cfg.OnFlowState(f.ID, env.Now(), st)
+		}
+	}
+	return s
+}
+
+func (s *sender) launch() {
+	s.hcp.Launch()
+	if s.lcp != nil {
+		s.lcp.onFlowStart()
+	}
+}
+
+// Handle implements netsim.Endpoint: high-priority ACKs feed DCTCP,
+// low-priority ACKs feed the LCP loop.
+func (s *sender) Handle(pkt *netsim.Packet) {
+	if s.f.Done() {
+		return
+	}
+	if pkt.Kind != netsim.Ack {
+		return
+	}
+	if pkt.LowLoop {
+		if s.lcp != nil {
+			s.lcp.onLowAck(pkt)
+		}
+		return
+	}
+	s.hcp.ProcessAck(pkt)
+}
+
+// lcpLoop is the low-priority control loop of §3.
+type lcpLoop struct {
+	s *sender
+
+	active bool
+	// tailNext is the byte offset of the next opportunistic segment's
+	// start; it moves downward from the flow tail.
+	tailNext int64
+
+	// budget is the remaining initial-window bytes of the current loop
+	// (case-1/case-2 I); once spent, the loop is purely ACK-clocked.
+	budget  int64
+	paceGap sim.Time
+	pacing  bool
+
+	// guarded marks case-2 loops, which additionally cap their budget
+	// to the gap beyond two HCP windows.
+	guarded bool
+
+	// alpha history for the case-2 trigger.
+	alphas []float64
+
+	// termination timer: 2 RTTs without low-priority ACKs.
+	deadTimer *sim.Timer
+
+	// sent/acked accounting.
+	oppSent int64
+	// inflight is the opportunistic bytes sent but not yet covered by a
+	// low-priority ACK. A standing backlog here means the fabric is NOT
+	// actually idle for the low class — opening another loop would only
+	// deepen the stale queue — so loop initialization is gated on it.
+	inflight int64
+}
+
+func newLCPLoop(s *sender) *lcpLoop {
+	l := &lcpLoop{s: s}
+	l.tailNext = l.bufferedTail()
+	return l
+}
+
+// rtt is the loop pacing interval base.
+func (l *lcpLoop) rtt() sim.Time {
+	if r := l.s.hcp.SRTT; r > 0 {
+		return r
+	}
+	return l.s.env.BaseRTT()
+}
+
+// onFlowStart opens the case-1 loop: I = BDP − IW, delayed to the 2nd
+// RTT for identified-large flows.
+func (l *lcpLoop) onFlowStart() {
+	open := func() {
+		if l.s.f.Done() {
+			return
+		}
+		Debug.Case1Opens++
+		i := int64(l.s.env.BDP()) - l.s.hcp.C.InitCwnd
+		l.open(i, false)
+	}
+	if l.s.f.IdentifiedLarge && !l.s.cfg.NoDelayLCPForLarge {
+		l.s.env.Sched().After(l.s.env.BaseRTT(), open)
+		return
+	}
+	open()
+}
+
+// onAlpha is the case-2 trigger: fires on every per-window α update. A
+// loop opens when the fresh α is at or below the minimum of the recent
+// history — i.e. "α takes the minimum value in the past RTTs" (§3.1) —
+// which needs at least one prior observation to compare against.
+func (l *lcpLoop) onAlpha(alpha float64) {
+	prior := l.alphas
+	l.alphas = append(l.alphas, alpha)
+	if len(l.alphas) > l.s.cfg.AlphaHistory {
+		l.alphas = l.alphas[len(l.alphas)-l.s.cfg.AlphaHistory:]
+	}
+	if l.active || !l.s.hcp.ExitedSS || l.s.f.Done() || len(prior) == 0 {
+		return
+	}
+	min := prior[0]
+	for _, a := range prior {
+		if a < min {
+			min = a
+		}
+	}
+	// Strictly below every recent observation: congestion is genuinely
+	// easing, not plateauing.
+	if alpha >= min {
+		return
+	}
+	// I = (1/2 − α_min) · W_max  (Equation 2).
+	Debug.Case2Opens++
+	l.open(int64((0.5-alpha)*l.s.hcp.Wmax), true)
+}
+
+// bufferedTail is the highest byte offset present in the modeled send
+// buffer: the application has only copied SendBuf bytes beyond what the
+// receiver has consumed.
+func (l *lcpLoop) bufferedTail() int64 {
+	if l.s.cfg.SendBuf <= 0 {
+		return l.s.f.Size
+	}
+	upper := l.s.hcp.SndUna + l.s.cfg.SendBuf
+	if upper > l.s.f.Size {
+		upper = l.s.f.Size
+	}
+	return upper
+}
+
+// open starts a loop with initial window i, paced over one RTT (EWD) or
+// blasted at line rate when the EWD ablation is on.
+func (l *lcpLoop) open(i int64, guarded bool) {
+	if i < netsim.MSS || l.active {
+		return
+	}
+	if guarded {
+		// Fill only the gap HCP cannot cover itself this round: the
+		// unsent bytes minus roughly two windows of HCP progress.
+		spare := l.tailNext - l.s.hcp.SndNxt - 2*int64(l.s.hcp.Cwnd)
+		if i > spare {
+			i = spare
+		}
+		if i < netsim.MSS {
+			return
+		}
+	}
+	// An unacknowledged backlog from previous loops contradicts the
+	// spare-bandwidth signal: those packets are still queued in the low
+	// class somewhere. Do not pile a fresh window on top of them. (This
+	// is part of the loop's congestion awareness, so the no-ECN
+	// ablation — an LCP blind to congestion, the paper's Fig 15 variant
+	// — drops it too.)
+	if !l.s.cfg.DisableECN && l.inflight >= i/2 {
+		return
+	}
+	l.guarded = guarded
+	// With a finite send buffer, a fresh loop restarts from the buffered
+	// tail: the buffer slid as the receiver consumed data, exposing
+	// bytes above where the previous loop stopped. (With an unbounded
+	// buffer tailNext is already the true frontier; resetting it would
+	// re-walk — and duplicate — the already-sent tail.)
+	if l.s.cfg.SendBuf > 0 {
+		if t := l.bufferedTail(); t > l.tailNext {
+			l.tailNext = t
+		}
+	}
+	// Never send below what HCP is about to cover.
+	if l.tailNext <= l.s.hcp.SndNxt {
+		return
+	}
+	l.active = true
+	l.budget = i
+	if l.s.cfg.DisableEWD {
+		// Fig 16 variant: opportunistic packets at line rate — the
+		// whole remaining tail, no pacing, no clocking discipline.
+		l.budget = l.tailNext - l.s.hcp.SndNxt
+		l.paceGap = l.s.f.Src.Rate().TxTime(netsim.MSS + netsim.HeaderBytes)
+	} else {
+		pkts := (i + netsim.MSS - 1) / netsim.MSS
+		l.paceGap = l.rtt() / sim.Time(pkts)
+	}
+	l.resetDeadTimer()
+	if !l.pacing {
+		l.pacing = true
+		l.paceOne()
+	}
+}
+
+// paceOne transmits the next opportunistic packet of the initial window.
+func (l *lcpLoop) paceOne() {
+	if !l.active || l.s.f.Done() || l.budget <= 0 {
+		l.pacing = false
+		return
+	}
+	if !l.sendOpportunistic() {
+		l.pacing = false
+		return
+	}
+	Debug.PacedPkts++
+	l.budget -= netsim.MSS
+	l.s.env.Sched().After(l.paceGap, l.paceOne)
+}
+
+// sendOpportunistic emits one packet from the tail end, skipping ranges
+// already acknowledged via low-priority ACKs; false when the loops have
+// crossed and nothing remains.
+func (l *lcpLoop) sendOpportunistic() bool {
+	// Stay one HCP window ahead of the high loop's frontier: HCP will
+	// cover that region itself within the next round, so opportunistic
+	// copies there lose the race and are pure duplication ("the window
+	// summation of LCP and HCP will not exceed the MW", §3).
+	hcpNext := l.s.hcp.SndNxt + int64(l.s.hcp.Cwnd)
+	skip := l.s.hcp.Skip
+	// Descend past already-delivered tail ranges.
+	for l.tailNext > hcpNext && skip.Contains(l.tailNext-1, l.tailNext) {
+		l.tailNext = skip.ContiguousBack(l.tailNext)
+	}
+	seq := l.tailNext - netsim.MSS
+	if seq < hcpNext {
+		seq = hcpNext
+	}
+	if cov := skip.ContiguousFrom(seq); cov > seq {
+		// The packet would start inside a delivered range; trim it.
+		seq = cov
+	}
+	if seq >= l.tailNext {
+		return false // crossed: the tail is already covered
+	}
+	n := int32(l.tailNext - seq)
+	prio := hcpPrio(l.s.cfg, l.s.f, l.s.hcp.BytesSent) + 4
+	pkt := netsim.DataPacket(l.s.f.ID, l.s.f.Src.ID(), l.s.f.Dst.ID(), seq, n, prio)
+	pkt.ECT = !l.s.cfg.DisableECN
+	pkt.LowLoop = true
+	l.s.f.Src.Send(pkt)
+	l.s.env.Eff.SentLowPayload += int64(n)
+	l.oppSent += int64(n)
+	l.inflight += int64(n)
+	l.tailNext = seq
+	return true
+}
+
+// onLowAck applies the EWD receiver clocking: each low-priority ACK
+// (covering two opportunistic packets) triggers exactly one new packet —
+// unless it carries ECE, which suppresses it to protect HCP (§3.2).
+func (l *lcpLoop) onLowAck(pkt *netsim.Packet) {
+	meta, _ := pkt.Meta.(*transport.AckMeta)
+	if meta != nil {
+		for i := 0; i < meta.LowN; i++ {
+			l.s.hcp.Skip.Add(meta.LowSeqs[i], meta.LowSeqs[i]+int64(meta.LowLens[i]))
+			l.inflight -= int64(meta.LowLens[i])
+		}
+		if l.inflight < 0 {
+			l.inflight = 0
+		}
+		// Skipping delivered bytes shrinks HCP's in-flight estimate, so
+		// the high loop may be able to transmit right now.
+		l.s.hcp.TrySend()
+	}
+	if !l.active {
+		return
+	}
+	l.resetDeadTimer()
+	if pkt.ECE && !l.s.cfg.DisableECN {
+		return // congestion: do not clock out a new opportunistic packet
+	}
+	if l.sendOpportunistic() {
+		Debug.ClockedPkts++
+	}
+}
+
+func (l *lcpLoop) resetDeadTimer() {
+	if l.deadTimer != nil {
+		l.deadTimer.Stop()
+	}
+	l.deadTimer = l.s.env.Sched().After(2*l.rtt(), l.terminate)
+}
+
+// terminate closes the loop after 2 RTTs of ACK silence; a future
+// trigger may open a fresh one (§3.2 remarks).
+func (l *lcpLoop) terminate() {
+	l.active = false
+	l.pacing = false
+	l.budget = 0
+}
+
+// NewDualLoopReceiver exposes the PPT receiver for reuse by transports
+// that embed the LCP design on a different high-priority loop (e.g. the
+// delay-based variant of Fig 14).
+func NewDualLoopReceiver(env *transport.Env, f *transport.Flow) netsim.Endpoint {
+	return newReceiver(env, f, Config{}.withDefaults())
+}
+
+// receiver reassembles both loops' packets and generates the two ACK
+// streams: per-packet high-priority cumulative ACKs for HCP and one
+// low-priority ACK per two opportunistic packets for LCP.
+type receiver struct {
+	env *transport.Env
+	f   *transport.Flow
+	cfg Config
+	r   *transport.Reassembly
+
+	// pending buffers the last unacknowledged opportunistic arrival.
+	pendingSeq int64
+	pendingLen int32
+	pendingCE  bool
+	hasPending bool
+}
+
+func newReceiver(env *transport.Env, f *transport.Flow, cfg Config) *receiver {
+	return &receiver{env: env, f: f, cfg: cfg, r: transport.NewReassembly(f.Size)}
+}
+
+// Handle implements netsim.Endpoint.
+func (rc *receiver) Handle(pkt *netsim.Packet) {
+	if pkt.Kind != netsim.Data {
+		return
+	}
+	added := rc.r.Add(pkt.Seq, pkt.PayloadLen)
+	if pkt.LowLoop {
+		Debug.NewLowBytes += added
+		Debug.DupLowBytes += int64(pkt.PayloadLen) - added
+		rc.env.Eff.UsefulLow += added
+		rc.onOpportunistic(pkt)
+	} else {
+		Debug.NewHighBytes += added
+		Debug.DupHighBytes += int64(pkt.PayloadLen) - added
+		rc.ackHigh(pkt)
+	}
+	if rc.r.Complete() {
+		rc.env.Complete(rc.f)
+	}
+}
+
+func (rc *receiver) ackHigh(pkt *netsim.Packet) {
+	ack := netsim.CtrlPacket(netsim.Ack, rc.f.ID, rc.f.Dst.ID(), rc.f.Src.ID(), 0)
+	ack.Seq = rc.r.CumAck()
+	ack.ECE = pkt.CE
+	ack.EchoTS = pkt.SentAt
+	rc.f.Dst.Send(ack)
+}
+
+// onOpportunistic coalesces two opportunistic arrivals per low-priority
+// ACK (the 2:1 EWD clock of §3.2).
+func (rc *receiver) onOpportunistic(pkt *netsim.Packet) {
+	if !rc.hasPending {
+		rc.pendingSeq, rc.pendingLen, rc.pendingCE = pkt.Seq, pkt.PayloadLen, pkt.CE
+		rc.hasPending = true
+		return
+	}
+	meta := &transport.AckMeta{
+		LowSeqs:      [2]int64{rc.pendingSeq, pkt.Seq},
+		LowLens:      [2]int32{rc.pendingLen, pkt.PayloadLen},
+		LowN:         2,
+		TailFrontier: rc.r.TailFrontier(),
+	}
+	rc.hasPending = false
+	ack := netsim.CtrlPacket(netsim.Ack, rc.f.ID, rc.f.Dst.ID(), rc.f.Src.ID(), pkt.Prio)
+	ack.LowLoop = true
+	ack.Seq = rc.r.CumAck()
+	ack.ECE = pkt.CE || rc.pendingCE
+	ack.EchoTS = pkt.SentAt
+	ack.Meta = meta
+	rc.f.Dst.Send(ack)
+}

@@ -1,0 +1,326 @@
+// Package swift implements a delay-based transport conceptually
+// equivalent to Swift [21], as used by the paper's Figure 14 study: the
+// congestion window is adjusted purely on measured fabric RTT against a
+// target delay (the ns-3 variant the paper describes, which ignores host
+// congestion). WithPPT layers the paper's LCP design on top: an
+// opportunistic low-priority loop opens whenever the measured delay
+// falls below target, uses the same 2:1 EWD clocking, and closes after
+// two silent RTTs, with PPT's mirror-symmetric flow scheduling.
+package swift
+
+import (
+	"ppt/internal/netsim"
+	"ppt/internal/sim"
+	"ppt/internal/transport"
+	"ppt/internal/transport/lowloop"
+	"ppt/internal/transport/ppt"
+)
+
+// Config tunes the delay-based loop.
+type Config struct {
+	// TargetDelay is the fabric RTT target (default: 1.5 × base RTT).
+	TargetDelay sim.Time
+	// AI is the additive increase per RTT in MSS units (default 1).
+	AI float64
+	// Beta scales multiplicative decrease (default 0.8).
+	Beta float64
+	// MaxMD floors a single decrease factor (default 0.5).
+	MaxMD float64
+	// InitCwnd in bytes (default 10 MSS).
+	InitCwnd int64
+
+	// WithPPT enables the dual-loop + scheduling variant of Fig 14.
+	WithPPT bool
+}
+
+func (c Config) withDefaults(env *transport.Env) Config {
+	if c.TargetDelay == 0 {
+		c.TargetDelay = env.BaseRTT() + env.BaseRTT()/2
+	}
+	if c.AI == 0 {
+		c.AI = 1
+	}
+	if c.Beta == 0 {
+		c.Beta = 0.8
+	}
+	if c.MaxMD == 0 {
+		c.MaxMD = 0.5
+	}
+	if c.InitCwnd == 0 {
+		c.InitCwnd = 10 * netsim.MSS
+	}
+	return c
+}
+
+// Proto is the Swift-like protocol factory.
+type Proto struct {
+	Cfg Config
+}
+
+// Name implements transport.Protocol.
+func (p Proto) Name() string {
+	if p.Cfg.WithPPT {
+		return "swift+ppt"
+	}
+	return "swift"
+}
+
+// Start implements transport.Protocol.
+func (p Proto) Start(env *transport.Env, f *transport.Flow) {
+	cfg := p.Cfg.withDefaults(env)
+	if cfg.WithPPT && f.FirstCall > 100_000 {
+		f.IdentifiedLarge = true
+	}
+	if cfg.WithPPT {
+		f.Dst.Bind(f.ID, true, ppt.NewDualLoopReceiver(env, f))
+	} else {
+		f.Dst.Bind(f.ID, true, &receiver{env: env, f: f, r: transport.NewReassembly(f.Size)})
+	}
+	s := &sender{env: env, f: f, cfg: cfg, cwnd: float64(cfg.InitCwnd)}
+	if cfg.WithPPT {
+		s.loop = lowloop.New(env, f, s)
+	}
+	f.Src.Bind(f.ID, false, s)
+	s.trySend()
+}
+
+type sender struct {
+	env *transport.Env
+	f   *transport.Flow
+	cfg Config
+
+	cwnd           float64
+	sndUna, sndNxt int64
+	skip           transport.IntervalSet
+	bytesSent      int64
+	lastDecrease   sim.Time
+	decreased      bool
+	dupAcks        int
+	rto            *sim.Timer
+
+	// loop is the PPT low-priority loop (WithPPT variant, Fig 14).
+	loop      *lowloop.Loop
+	loopOpens int
+	srtt      sim.Time
+}
+
+// Frontier implements lowloop.Host.
+func (s *sender) Frontier() int64 { return s.sndNxt }
+
+// Window implements lowloop.Host.
+func (s *sender) Window() float64 { return s.cwnd }
+
+// RTT implements lowloop.Host.
+func (s *sender) RTT() sim.Time { return s.rtt() }
+
+// LowPrio implements lowloop.Host.
+func (s *sender) LowPrio() int8 { return s.prio(true) }
+
+// SkipSet implements lowloop.Host.
+func (s *sender) SkipSet() *transport.IntervalSet { return &s.skip }
+
+// OnSkipUpdate implements lowloop.Host.
+func (s *sender) OnSkipUpdate() { s.trySend() }
+
+func (s *sender) prio(low bool) int8 {
+	if !s.cfg.WithPPT {
+		return 0
+	}
+	var p int8
+	switch {
+	case s.f.IdentifiedLarge:
+		p = 3
+	case s.bytesSent < 100_000:
+		p = 0
+	case s.bytesSent < 1_000_000:
+		p = 1
+	case s.bytesSent < 10_000_000:
+		p = 2
+	default:
+		p = 3
+	}
+	if low {
+		p += 4
+	}
+	return p
+}
+
+func (s *sender) inflight() int64 {
+	out := s.sndNxt - s.sndUna
+	if out <= 0 {
+		return 0
+	}
+	return out - s.skip.CoveredIn(s.sndUna, s.sndNxt)
+}
+
+func (s *sender) trySend() {
+	if s.f.Done() {
+		return
+	}
+	for s.sndNxt < s.f.Size {
+		if float64(s.inflight())+netsim.MSS > s.cwnd && s.inflight() > 0 {
+			break
+		}
+		seq := s.skip.ContiguousFrom(s.sndNxt)
+		end := seq + netsim.MSS
+		if end > s.f.Size {
+			end = s.f.Size
+		}
+		if cov := s.skip.FirstCoveredIn(seq, end); cov < end {
+			end = cov
+		}
+		if seq >= s.f.Size || end <= seq {
+			break
+		}
+		pkt := netsim.DataPacket(s.f.ID, s.f.Src.ID(), s.f.Dst.ID(), seq, int32(end-seq), s.prio(false))
+		s.bytesSent += int64(end - seq)
+		s.f.Src.Send(pkt)
+		s.sndNxt = end
+	}
+	s.armRTO()
+}
+
+func (s *sender) armRTO() {
+	if s.inflight() <= 0 || s.f.Done() {
+		if s.rto != nil {
+			s.rto.Stop()
+		}
+		return
+	}
+	if s.rto != nil && s.rto.Pending() {
+		return
+	}
+	s.rto = s.env.Sched().After(s.env.RTO(), s.onRTO)
+}
+
+func (s *sender) onRTO() {
+	if s.f.Done() || s.inflight() <= 0 {
+		return
+	}
+	s.cwnd = netsim.MSS
+	s.sndNxt = s.sndUna
+	s.trySend()
+	s.rto = s.env.Sched().After(s.env.RTO(), s.onRTO)
+}
+
+// Handle implements netsim.Endpoint.
+func (s *sender) Handle(pkt *netsim.Packet) {
+	if s.f.Done() || pkt.Kind != netsim.Ack {
+		return
+	}
+	if pkt.LowLoop {
+		if s.loop != nil {
+			s.loop.OnLowAck(pkt)
+		}
+		return
+	}
+	var rtt sim.Time
+	if pkt.EchoTS > 0 {
+		rtt = s.env.Now() - pkt.EchoTS
+		if s.srtt == 0 {
+			s.srtt = rtt
+		} else {
+			s.srtt = (7*s.srtt + rtt) / 8
+		}
+	}
+	if pkt.Seq > s.sndUna {
+		acked := pkt.Seq - s.sndUna
+		s.sndUna = pkt.Seq
+		if s.sndUna > s.sndNxt {
+			s.sndNxt = s.sndUna
+		}
+		s.dupAcks = 0
+		if s.rto != nil {
+			s.rto.Stop()
+		}
+		s.adjust(rtt, acked)
+	} else if s.inflight() > 0 {
+		s.dupAcks++
+		if s.dupAcks == 3 {
+			s.fastRetransmit()
+			s.dupAcks = 0
+		}
+	}
+	s.trySend()
+}
+
+// adjust is the Swift control law on fabric delay.
+func (s *sender) adjust(rtt sim.Time, acked int64) {
+	if rtt == 0 {
+		return
+	}
+	if rtt < s.cfg.TargetDelay {
+		// Additive increase, normalized per window.
+		s.cwnd += s.cfg.AI * netsim.MSS * float64(acked) / s.cwnd
+		if s.loop != nil && !s.loop.Active() {
+			// The paper's Fig 14 trigger: delay below target means the
+			// fabric has spare capacity for opportunistic packets.
+			i := int64(s.env.BDP()) - int64(s.cwnd)
+			s.loop.Open(i, s.loopOpens > 0)
+			s.loopOpens++
+		}
+		return
+	}
+	// Multiplicative decrease at most once per RTT.
+	now := s.env.Now()
+	if s.decreased && now-s.lastDecrease < s.srtt {
+		return
+	}
+	s.decreased = true
+	s.lastDecrease = now
+	md := 1 - s.cfg.Beta*float64(rtt-s.cfg.TargetDelay)/float64(rtt)
+	if md < 1-s.cfg.MaxMD {
+		md = 1 - s.cfg.MaxMD
+	}
+	s.cwnd *= md
+	if s.cwnd < netsim.MSS {
+		s.cwnd = netsim.MSS
+	}
+}
+
+func (s *sender) fastRetransmit() {
+	seq := s.skip.ContiguousFrom(s.sndUna)
+	end := seq + netsim.MSS
+	if end > s.f.Size {
+		end = s.f.Size
+	}
+	if end <= seq {
+		return
+	}
+	pkt := netsim.DataPacket(s.f.ID, s.f.Src.ID(), s.f.Dst.ID(), seq, int32(end-seq), s.prio(false))
+	pkt.Retrans = true
+	s.f.Src.Send(pkt)
+	s.cwnd /= 2
+	if s.cwnd < netsim.MSS {
+		s.cwnd = netsim.MSS
+	}
+}
+
+func (s *sender) rtt() sim.Time {
+	if s.srtt > 0 {
+		return s.srtt
+	}
+	return s.env.BaseRTT()
+}
+
+// receiver is the plain delay-echo receiver.
+type receiver struct {
+	env *transport.Env
+	f   *transport.Flow
+	r   *transport.Reassembly
+}
+
+// Handle implements netsim.Endpoint.
+func (rc *receiver) Handle(pkt *netsim.Packet) {
+	if pkt.Kind != netsim.Data {
+		return
+	}
+	rc.r.Add(pkt.Seq, pkt.PayloadLen)
+	ack := netsim.CtrlPacket(netsim.Ack, rc.f.ID, rc.f.Dst.ID(), rc.f.Src.ID(), 0)
+	ack.Seq = rc.r.CumAck()
+	ack.EchoTS = pkt.SentAt
+	rc.f.Dst.Send(ack)
+	if rc.r.Complete() {
+		rc.env.Complete(rc.f)
+	}
+}

@@ -1,0 +1,107 @@
+package swift
+
+import (
+	"testing"
+
+	"ppt/internal/sim"
+	"ppt/internal/transport"
+	"ppt/internal/transport/transporttest"
+)
+
+func TestSingleFlowCompletes(t *testing.T) {
+	env := transporttest.NewStarEnv(4)
+	sum := transporttest.MustComplete(t, env, Proto{}, []transport.SimpleFlow{
+		{ID: 1, Src: 0, Dst: 1, Size: 2_000_000},
+	})
+	if sum.OverallAvg < 1600*sim.Microsecond {
+		t.Fatalf("impossibly fast: %v", sum.OverallAvg)
+	}
+}
+
+func TestDelayStaysNearTarget(t *testing.T) {
+	// Two elephants: delay-based control should keep the standing queue
+	// bounded so no drops occur with a moderate buffer.
+	env := transporttest.NewStarEnv(4, transporttest.WithBuffer(400_000))
+	flows := []transport.SimpleFlow{
+		{ID: 1, Src: 0, Dst: 2, Size: 5_000_000},
+		{ID: 2, Src: 1, Dst: 2, Size: 5_000_000},
+	}
+	transporttest.MustComplete(t, env, Proto{}, flows)
+	var drops int64
+	for _, p := range env.Net.SwitchPorts() {
+		drops += p.Stats.Drops
+	}
+	if drops != 0 {
+		t.Fatalf("swift dropped %d packets", drops)
+	}
+}
+
+func TestAdjustIncreasesBelowTarget(t *testing.T) {
+	env := transporttest.NewStarEnv(4)
+	f := &transport.Flow{ID: 1, Src: env.Net.Hosts[0], Dst: env.Net.Hosts[1], Size: 1 << 30}
+	cfg := Config{}.withDefaults(env)
+	s := &sender{env: env, f: f, cfg: cfg, cwnd: float64(cfg.InitCwnd)}
+	before := s.cwnd
+	s.adjust(cfg.TargetDelay/2, 10_000)
+	if s.cwnd <= before {
+		t.Fatal("no additive increase below target delay")
+	}
+}
+
+func TestAdjustDecreasesAboveTarget(t *testing.T) {
+	env := transporttest.NewStarEnv(4)
+	f := &transport.Flow{ID: 1, Src: env.Net.Hosts[0], Dst: env.Net.Hosts[1], Size: 1 << 30}
+	cfg := Config{}.withDefaults(env)
+	s := &sender{env: env, f: f, cfg: cfg, cwnd: float64(cfg.InitCwnd), srtt: env.BaseRTT()}
+	before := s.cwnd
+	s.adjust(cfg.TargetDelay*3, 10_000)
+	if s.cwnd >= before {
+		t.Fatal("no decrease above target delay")
+	}
+	// Bounded by MaxMD.
+	if s.cwnd < before*(1-cfg.MaxMD)-1 {
+		t.Fatalf("decrease %v -> %v exceeds MaxMD", before, s.cwnd)
+	}
+}
+
+func TestDecreaseThrottledPerRTT(t *testing.T) {
+	env := transporttest.NewStarEnv(4)
+	f := &transport.Flow{ID: 1, Src: env.Net.Hosts[0], Dst: env.Net.Hosts[1], Size: 1 << 30}
+	cfg := Config{}.withDefaults(env)
+	s := &sender{env: env, f: f, cfg: cfg, cwnd: float64(cfg.InitCwnd), srtt: env.BaseRTT()}
+	s.adjust(cfg.TargetDelay*3, 10_000)
+	after := s.cwnd
+	s.adjust(cfg.TargetDelay*3, 10_000) // same instant: throttled
+	if s.cwnd != after {
+		t.Fatal("second decrease within an RTT not throttled")
+	}
+}
+
+func TestWithPPTBeatsPlainSwiftOnIdleNetwork(t *testing.T) {
+	mk := func(withPPT bool) sim.Time {
+		env := transporttest.NewStarEnv(4)
+		sum := transporttest.MustComplete(t, env, Proto{Cfg: Config{WithPPT: withPPT}},
+			[]transport.SimpleFlow{{ID: 1, Src: 0, Dst: 1, Size: 90_000, FirstCall: 1_000}})
+		return sum.OverallAvg
+	}
+	plain := mk(false)
+	dual := mk(true)
+	if dual > plain {
+		t.Fatalf("swift+ppt (%v) slower than swift (%v) on idle network", dual, plain)
+	}
+}
+
+func TestWithPPTCompletesWorkload(t *testing.T) {
+	env := transporttest.NewStarEnv(6)
+	transporttest.MustComplete(t, env, Proto{Cfg: Config{WithPPT: true}},
+		transporttest.MixedFlows(6, 3_000_000, 20_000))
+}
+
+func TestNames(t *testing.T) {
+	if (Proto{}).Name() != "swift" {
+		t.Fatal("name")
+	}
+	if (Proto{Cfg: Config{WithPPT: true}}).Name() != "swift+ppt" {
+		t.Fatal("variant name")
+	}
+}

@@ -1,0 +1,236 @@
+// Package transport provides the framework every protocol in this
+// repository is written against: flows, the run loop that releases them
+// at their arrival times, byte-range reassembly, and shared accounting.
+//
+// A protocol is a factory that wires a sender endpoint on the source host
+// and a receiver endpoint on the destination host. Completion is decided
+// by the receiver (all bytes reassembled) and reported to the
+// environment, which records the FCT and tears the flow down.
+package transport
+
+import (
+	"fmt"
+
+	"ppt/internal/netsim"
+	"ppt/internal/sim"
+	"ppt/internal/stats"
+	"ppt/internal/topo"
+)
+
+// Flow is one transfer in flight.
+type Flow struct {
+	ID    uint32
+	Src   *netsim.Host
+	Dst   *netsim.Host
+	Size  int64
+	Start sim.Time
+
+	// FirstCall is the number of bytes the application's first send()
+	// syscall injected into the send buffer (set by the bufaware model;
+	// defaults to Size, i.e. the whole message written at once).
+	FirstCall int64
+
+	// IdentifiedLarge is the buffer-aware classifier's verdict.
+	IdentifiedLarge bool
+
+	done bool
+}
+
+// Env is the shared environment endpoints run in.
+type Env struct {
+	Net       *topo.Network
+	Collector *stats.Collector
+	Eff       stats.Efficiency
+
+	// RTOMin floors every retransmission timer.
+	RTOMin sim.Time
+
+	remaining    int
+	stopWhenDone bool
+
+	// OnComplete, when set, observes each completion (after recording).
+	OnComplete func(*Flow)
+}
+
+// NewEnv builds an environment over a fabric.
+func NewEnv(net *topo.Network) *Env {
+	return &Env{
+		Net:       net,
+		Collector: stats.NewCollector(),
+		RTOMin:    1 * sim.Millisecond,
+	}
+}
+
+// Sched returns the fabric scheduler.
+func (e *Env) Sched() *sim.Scheduler { return e.Net.Sched }
+
+// Now returns the current simulated time.
+func (e *Env) Now() sim.Time { return e.Net.Sched.Now() }
+
+// BaseRTT returns the fabric's zero-load RTT.
+func (e *Env) BaseRTT() sim.Time { return e.Net.BaseRTT }
+
+// BDP returns the fabric bandwidth-delay product in bytes.
+func (e *Env) BDP() int { return e.Net.BDP() }
+
+// RTO returns the retransmission timeout to use: a small multiple of the
+// base RTT, floored at RTOMin.
+func (e *Env) RTO() sim.Time {
+	rto := 3 * e.Net.BaseRTT
+	if rto < e.RTOMin {
+		rto = e.RTOMin
+	}
+	return rto
+}
+
+// Complete records a finished flow, unbinds its endpoints, and stops the
+// run loop when the last tracked flow finishes.
+func (e *Env) Complete(f *Flow) {
+	if f.done {
+		return
+	}
+	f.done = true
+	e.Collector.Complete(f.ID, f.Size, f.Start, e.Now())
+	e.Eff.UsefulDelivered += f.Size
+	f.Src.Unbind(f.ID, false)
+	f.Dst.Unbind(f.ID, true)
+	if e.OnComplete != nil {
+		e.OnComplete(f)
+	}
+	if e.stopWhenDone {
+		e.remaining--
+		if e.remaining == 0 {
+			e.Sched().Stop()
+		}
+	}
+}
+
+// Done reports whether the flow has completed.
+func (f *Flow) Done() bool { return f.done }
+
+// Protocol wires endpoints for one flow. Start is called at the flow's
+// arrival time.
+type Protocol interface {
+	Name() string
+	Start(env *Env, f *Flow)
+}
+
+// RunConfig controls a full experiment run.
+type RunConfig struct {
+	// MaxEvents aborts runaway simulations; 0 means a generous default.
+	MaxEvents uint64
+	// Deadline bounds simulated time; 0 means unbounded.
+	Deadline sim.Time
+}
+
+// SimpleFlow is a pending transfer request: endpoints by host index, a
+// size, and an arrival time. Experiment code converts workload.Flow
+// values into these.
+type SimpleFlow struct {
+	ID     uint32
+	Src    int
+	Dst    int
+	Size   int64
+	Arrive sim.Time
+	// FirstCall overrides the first-syscall size for the buffer-aware
+	// classifier; zero means the whole message is written at once.
+	FirstCall int64
+}
+
+// Run releases flows at their arrival times under proto and runs the
+// simulation until every flow completes (or a safety bound trips). It
+// returns the FCT summary.
+func Run(env *Env, proto Protocol, flows []SimpleFlow, cfg RunConfig) stats.Summary {
+	env.remaining = len(flows)
+	env.stopWhenDone = true
+	sched := env.Sched()
+	if cfg.MaxEvents == 0 {
+		cfg.MaxEvents = 2_000_000_000
+	}
+	sched.Limit = sched.Executed + cfg.MaxEvents
+	for i := range flows {
+		wf := flows[i]
+		firstCall := wf.FirstCall
+		if firstCall == 0 {
+			firstCall = wf.Size
+		}
+		f := &Flow{
+			ID:        wf.ID,
+			Src:       env.Net.Hosts[wf.Src],
+			Dst:       env.Net.Hosts[wf.Dst],
+			Size:      wf.Size,
+			FirstCall: firstCall,
+		}
+		sched.At(wf.Arrive, func() {
+			f.Start = env.Now()
+			proto.Start(env, f)
+		})
+	}
+	deadline := sim.MaxTime
+	if cfg.Deadline != 0 {
+		deadline = cfg.Deadline
+	}
+	sched.RunUntil(deadline)
+	// Account host-NIC payload counters into the efficiency summary.
+	for _, h := range env.Net.Hosts {
+		env.Eff.SentPayload += h.NIC().Stats.TxDataBytes
+	}
+	return env.Collector.Summarize()
+}
+
+// Reassembly is the receiver-side byte accounting shared by every
+// protocol: an interval set over [0, Size).
+type Reassembly struct {
+	Size int64
+	set  IntervalSet
+}
+
+// NewReassembly tracks a flow of the given size.
+func NewReassembly(size int64) *Reassembly { return &Reassembly{Size: size} }
+
+// Add records payload [seq, seq+n) and returns the newly covered bytes.
+func (r *Reassembly) Add(seq int64, n int32) int64 {
+	end := seq + int64(n)
+	if end > r.Size {
+		end = r.Size
+	}
+	return r.set.Add(seq, end)
+}
+
+// Complete reports whether all bytes have arrived.
+func (r *Reassembly) Complete() bool { return r.set.Total() >= r.Size }
+
+// CumAck returns the contiguous prefix length — the TCP cumulative ACK.
+func (r *Reassembly) CumAck() int64 { return r.set.ContiguousFrom(0) }
+
+// TailFrontier returns the start of the contiguous suffix reaching Size
+// (== Size when no suffix has arrived).
+func (r *Reassembly) TailFrontier() int64 { return r.set.ContiguousBack(r.Size) }
+
+// Received returns total distinct bytes received.
+func (r *Reassembly) Received() int64 { return r.set.Total() }
+
+// FirstMissing returns the first uncovered byte offset (== Size when
+// complete).
+func (r *Reassembly) FirstMissing() int64 { return r.set.NextGap(0, r.Size) }
+
+// NextCovered returns the first received byte at or after a, or limit
+// when nothing below limit has arrived — the end of the gap starting at
+// a.
+func (r *Reassembly) NextCovered(a, limit int64) int64 {
+	return r.set.FirstCoveredIn(a, limit)
+}
+
+// ContiguousFrom returns the end of the received run starting at a
+// (== a when byte a has not arrived).
+func (r *Reassembly) ContiguousFrom(a int64) int64 { return r.set.ContiguousFrom(a) }
+
+// MaxCovered returns the highest received offset + 1 (0 when nothing has
+// arrived). On an in-order fabric, every gap below this frontier is a
+// definite loss.
+func (r *Reassembly) MaxCovered() int64 { return r.set.Max() }
+
+// String aids debugging.
+func (r *Reassembly) String() string {
+	return fmt.Sprintf("reasm %d/%d cum=%d tail=%d", r.set.Total(), r.Size, r.CumAck(), r.TailFrontier())
+}

@@ -1,0 +1,85 @@
+// Package transporttest provides fabric fixtures shared by the protocol
+// test suites.
+package transporttest
+
+import (
+	"testing"
+
+	"ppt/internal/netsim"
+	"ppt/internal/sim"
+	"ppt/internal/stats"
+	"ppt/internal/topo"
+	"ppt/internal/transport"
+)
+
+// StarOpt tweaks the default test fabric.
+type StarOpt func(*topo.Config)
+
+// WithTrim enables NDP-style payload trimming.
+func WithTrim() StarOpt { return func(c *topo.Config) { c.TrimToHeader = true } }
+
+// WithINT enables in-band telemetry.
+func WithINT() StarOpt { return func(c *topo.Config) { c.EnableINT = true } }
+
+// WithDroppable enables Aeolus selective dropping at the given queue
+// threshold.
+func WithDroppable(th int64) StarOpt {
+	return func(c *topo.Config) { c.DroppableThresh = th }
+}
+
+// WithBuffer overrides the shared buffer size.
+func WithBuffer(b int64) StarOpt { return func(c *topo.Config) { c.SharedBuffer = b } }
+
+// NewStarEnv builds an n-host, 10G, small-RTT test fabric.
+func NewStarEnv(n int, opts ...StarOpt) *transport.Env {
+	cfg := topo.Config{
+		HostRate:            10 * netsim.Gbps,
+		LinkDelay:           5 * sim.Microsecond,
+		ECNHighK:            30_000,
+		ECNLowK:             24_000,
+		SharedBuffer:        1 << 20,
+		DynamicLowThreshold: true,
+	}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	env := transport.NewEnv(topo.Star(n, cfg))
+	env.RTOMin = 500 * sim.Microsecond
+	return env
+}
+
+// MustComplete runs flows and fails the test unless all complete.
+func MustComplete(t *testing.T, env *transport.Env, proto transport.Protocol, flows []transport.SimpleFlow) stats.Summary {
+	t.Helper()
+	sum := transport.Run(env, proto, flows, transport.RunConfig{MaxEvents: 50_000_000})
+	if sum.Flows != len(flows) {
+		t.Fatalf("%s: completed %d/%d flows", proto.Name(), sum.Flows, len(flows))
+	}
+	return sum
+}
+
+// IncastFlows builds n concurrent same-size flows into host 0 from
+// senders 1..n.
+func IncastFlows(n int, size int64) []transport.SimpleFlow {
+	flows := make([]transport.SimpleFlow, n)
+	for i := range flows {
+		flows[i] = transport.SimpleFlow{
+			ID: uint32(i + 1), Src: i + 1, Dst: 0, Size: size,
+			Arrive: sim.Time(i) * sim.Microsecond,
+		}
+	}
+	return flows
+}
+
+// MixedFlows builds a mix of one large and several small flows toward
+// host 0, the small ones arriving while the large one is in flight.
+func MixedFlows(nSmall int, largeSize, smallSize int64) []transport.SimpleFlow {
+	flows := []transport.SimpleFlow{{ID: 1, Src: 1, Dst: 0, Size: largeSize}}
+	for i := 0; i < nSmall; i++ {
+		flows = append(flows, transport.SimpleFlow{
+			ID: uint32(i + 2), Src: 2 + i%2, Dst: 0, Size: smallSize,
+			Arrive: 100*sim.Microsecond + sim.Time(i)*20*sim.Microsecond,
+		})
+	}
+	return flows
+}

@@ -1,0 +1,167 @@
+// Package workload generates the traffic the paper evaluates on: flow
+// sizes drawn from published datacenter distributions (Web Search [34],
+// Data Mining [13], Facebook Memcached W1 [32], Memcached ETC [8],
+// YouTube HTTP [18]), arriving as a Poisson process tuned to a target
+// network load, over all-to-all or N-to-1 patterns.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Point is one knot of an empirical flow-size CDF.
+type Point struct {
+	Bytes float64
+	CDF   float64
+}
+
+// Dist is a piecewise-linear empirical distribution of flow sizes.
+type Dist struct {
+	Name string
+	pts  []Point
+	mean float64
+}
+
+// NewDist validates the CDF points (strictly increasing in both
+// coordinates, ending at probability 1) and precomputes the mean.
+func NewDist(name string, pts []Point) *Dist {
+	if len(pts) < 2 {
+		panic("workload: need at least two CDF points")
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Bytes <= pts[i-1].Bytes || pts[i].CDF < pts[i-1].CDF {
+			panic(fmt.Sprintf("workload %s: CDF not monotonic at %d", name, i))
+		}
+	}
+	if pts[0].CDF != 0 || pts[len(pts)-1].CDF != 1 {
+		panic(fmt.Sprintf("workload %s: CDF must span [0,1]", name))
+	}
+	d := &Dist{Name: name, pts: pts}
+	for i := 1; i < len(pts); i++ {
+		mid := (pts[i].Bytes + pts[i-1].Bytes) / 2
+		d.mean += mid * (pts[i].CDF - pts[i-1].CDF)
+	}
+	return d
+}
+
+// Mean returns the expected flow size in bytes.
+func (d *Dist) Mean() float64 { return d.mean }
+
+// Sample draws one flow size (>= 1 byte).
+func (d *Dist) Sample(rng *rand.Rand) int64 {
+	u := rng.Float64()
+	i := sort.Search(len(d.pts), func(i int) bool { return d.pts[i].CDF >= u })
+	if i == 0 {
+		i = 1
+	}
+	lo, hi := d.pts[i-1], d.pts[i]
+	frac := 0.0
+	if hi.CDF > lo.CDF {
+		frac = (u - lo.CDF) / (hi.CDF - lo.CDF)
+	}
+	sz := int64(lo.Bytes + frac*(hi.Bytes-lo.Bytes))
+	if sz < 1 {
+		sz = 1
+	}
+	return sz
+}
+
+// FractionBelow returns P(size <= bytes).
+func (d *Dist) FractionBelow(bytes float64) float64 {
+	if bytes <= d.pts[0].Bytes {
+		return d.pts[0].CDF
+	}
+	for i := 1; i < len(d.pts); i++ {
+		if bytes <= d.pts[i].Bytes {
+			lo, hi := d.pts[i-1], d.pts[i]
+			return lo.CDF + (bytes-lo.Bytes)/(hi.Bytes-lo.Bytes)*(hi.CDF-lo.CDF)
+		}
+	}
+	return 1
+}
+
+// MaxBytes returns the largest possible flow size.
+func (d *Dist) MaxBytes() int64 { return int64(d.pts[len(d.pts)-1].Bytes) }
+
+// WebSearch is the DCTCP-paper web search workload [34]: heavy-tailed,
+// 62% of flows <= 100KB, mean ~1.6MB (Table 2).
+var WebSearch = NewDist("websearch", []Point{
+	{0, 0},
+	{6_000, 0.15},
+	{13_000, 0.28},
+	{19_000, 0.39},
+	{33_000, 0.49},
+	{53_000, 0.55},
+	{100_000, 0.62},
+	{133_000, 0.65},
+	{667_000, 0.72},
+	{1_460_000, 0.80},
+	{5_300_000, 0.92},
+	{10_000_000, 0.96},
+	{30_000_000, 1.0},
+})
+
+// DataMining is the VL2 data mining workload [13]: polarized sizes, 83%
+// of flows <= 100KB yet mean ~7.4MB (Table 2).
+var DataMining = NewDist("datamining", []Point{
+	{0, 0},
+	{300, 0.30},
+	{1_000, 0.50},
+	{2_000, 0.60},
+	{10_000, 0.70},
+	{60_000, 0.80},
+	{100_000, 0.83},
+	{1_000_000, 0.90},
+	{10_000_000, 0.95},
+	{100_000_000, 0.99},
+	{900_000_000, 1.0},
+})
+
+// MemcachedW1 is Facebook's memcached workload (Homa's W1): >70% of
+// flows under 1000 bytes and every flow under 100KB.
+var MemcachedW1 = NewDist("memcached-w1", []Point{
+	{0, 0},
+	{100, 0.30},
+	{300, 0.50},
+	{575, 0.70},
+	{1_000, 0.75},
+	{5_000, 0.85},
+	{20_000, 0.95},
+	{100_000, 1.0},
+})
+
+// MemcachedETC models the ETC key-value trace of [8], used by the §4.1
+// buffer-aware identification experiment with a 1KB threshold.
+var MemcachedETC = NewDist("memcached-etc", []Point{
+	{0, 0},
+	{64, 0.20},
+	{256, 0.50},
+	{1_024, 0.80},
+	{4_096, 0.92},
+	{16_384, 0.98},
+	{65_536, 1.0},
+})
+
+// YoutubeHTTP models the YouTube HTTP trace of [18], used by §4.1 with a
+// 10KB threshold.
+var YoutubeHTTP = NewDist("youtube-http", []Point{
+	{0, 0},
+	{2_000, 0.20},
+	{10_000, 0.45},
+	{50_000, 0.70},
+	{200_000, 0.85},
+	{1_000_000, 0.95},
+	{10_000_000, 1.0},
+})
+
+// ByName returns a registered distribution.
+func ByName(name string) (*Dist, error) {
+	for _, d := range []*Dist{WebSearch, DataMining, MemcachedW1, MemcachedETC, YoutubeHTTP} {
+		if d.Name == name {
+			return d, nil
+		}
+	}
+	return nil, fmt.Errorf("workload: unknown distribution %q", name)
+}

@@ -1,0 +1,87 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"ppt/internal/netsim"
+	"ppt/internal/sim"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	orig := Generate(GenConfig{
+		Dist: WebSearch, Pattern: AllToAll{N: 8}, Load: 0.5,
+		HostRate: 10 * netsim.Gbps, NumFlows: 200, Seed: 3,
+	})
+	var buf bytes.Buffer
+	if err := WriteFlows(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFlows(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(orig) {
+		t.Fatalf("round trip %d != %d", len(got), len(orig))
+	}
+	for i := range got {
+		if got[i].ID != orig[i].ID || got[i].Src != orig[i].Src ||
+			got[i].Dst != orig[i].Dst || got[i].Size != orig[i].Size {
+			t.Fatalf("flow %d mismatch: %+v vs %+v", i, got[i], orig[i])
+		}
+		// Arrival survives to sub-microsecond resolution.
+		d := got[i].Arrive - orig[i].Arrive
+		if d < 0 {
+			d = -d
+		}
+		if d > sim.Microsecond {
+			t.Fatalf("flow %d arrival drift %v", i, d)
+		}
+	}
+}
+
+func TestReadFlowsHandAuthored(t *testing.T) {
+	trace := `id,src,dst,size_bytes,arrive_us
+1,0,3,50000,0
+2,1,3,2000000,12.5
+3,2,3,100,40
+`
+	flows, err := ReadFlows(strings.NewReader(trace))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flows) != 3 {
+		t.Fatalf("parsed %d flows", len(flows))
+	}
+	if flows[1].Arrive != sim.Time(12.5*float64(sim.Microsecond)) {
+		t.Fatalf("arrive = %v", flows[1].Arrive)
+	}
+	if flows[2].Size != 100 || flows[2].Src != 2 {
+		t.Fatalf("flow 3 = %+v", flows[2])
+	}
+}
+
+func TestReadFlowsValidation(t *testing.T) {
+	header := "id,src,dst,size_bytes,arrive_us\n"
+	cases := map[string]string{
+		"zero size":    header + "1,0,1,0,0\n",
+		"src==dst":     header + "1,2,2,100,0\n",
+		"negative t":   header + "1,0,1,100,-5\n",
+		"duplicate id": header + "1,0,1,100,0\n1,0,2,100,1\n",
+		"bad int":      header + "x,0,1,100,0\n",
+		"short row":    header + "1,0,1\n",
+	}
+	for name, trace := range cases {
+		if _, err := ReadFlows(strings.NewReader(trace)); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestReadFlowsEmpty(t *testing.T) {
+	flows, err := ReadFlows(strings.NewReader(""))
+	if err != nil || flows != nil {
+		t.Fatalf("empty = %v, %v", flows, err)
+	}
+}

@@ -1,0 +1,109 @@
+package workload
+
+import (
+	"math/rand"
+
+	"ppt/internal/netsim"
+	"ppt/internal/sim"
+)
+
+// Flow is one transfer request: Size bytes from Src to Dst, arriving at
+// Arrive.
+type Flow struct {
+	ID     uint32
+	Src    int
+	Dst    int
+	Size   int64
+	Arrive sim.Time
+}
+
+// Pattern chooses (src, dst) pairs for successive flows.
+type Pattern interface {
+	// Pick returns the endpoints of the next flow.
+	Pick(rng *rand.Rand) (src, dst int)
+	// Receivers is the number of distinct destination downlinks the
+	// offered load is spread across (used to convert a target load into
+	// an aggregate arrival rate).
+	Receivers() int
+}
+
+// AllToAll picks uniform random distinct (src, dst) pairs among n hosts —
+// the paper's large-scale and 15-to-15 patterns.
+type AllToAll struct{ N int }
+
+// Pick implements Pattern.
+func (a AllToAll) Pick(rng *rand.Rand) (int, int) {
+	src := rng.Intn(a.N)
+	dst := rng.Intn(a.N - 1)
+	if dst >= src {
+		dst++
+	}
+	return src, dst
+}
+
+// Receivers implements Pattern.
+func (a AllToAll) Receivers() int { return a.N }
+
+// Incast sends every flow toward a single Target from senders chosen
+// uniformly among the other hosts — the 14-to-1 and N-to-1 patterns.
+type Incast struct {
+	N      int // total hosts
+	Target int
+	// Senders, when non-zero, restricts sources to hosts [1..Senders]
+	// shifted around Target; zero means every other host may send.
+	Senders int
+}
+
+// Pick implements Pattern.
+func (ic Incast) Pick(rng *rand.Rand) (int, int) {
+	pool := ic.N - 1
+	if ic.Senders > 0 && ic.Senders < pool {
+		pool = ic.Senders
+	}
+	src := rng.Intn(pool)
+	// Skip the target when mapping the pool index to a host id.
+	if src >= ic.Target {
+		src++
+	}
+	return src, ic.Target
+}
+
+// Receivers implements Pattern.
+func (ic Incast) Receivers() int { return 1 }
+
+// GenConfig parameterizes flow generation.
+type GenConfig struct {
+	Dist     *Dist
+	Pattern  Pattern
+	Load     float64     // fraction of receiver downlink bandwidth
+	HostRate netsim.Rate // edge link speed
+	NumFlows int
+	Seed     int64
+	// StartID offsets flow IDs so multiple generators stay disjoint.
+	StartID uint32
+}
+
+// Generate produces NumFlows flows with Poisson arrivals whose aggregate
+// rate offers Load × HostRate per receiver downlink.
+func Generate(cfg GenConfig) []Flow {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	// Aggregate bytes/sec offered across the fabric.
+	bytesPerSec := cfg.Load * float64(cfg.HostRate) / 8 * float64(cfg.Pattern.Receivers())
+	flowsPerSec := bytesPerSec / cfg.Dist.Mean()
+	meanGapPs := 1e12 / flowsPerSec
+
+	flows := make([]Flow, 0, cfg.NumFlows)
+	var now float64
+	for i := 0; i < cfg.NumFlows; i++ {
+		now += rng.ExpFloat64() * meanGapPs
+		src, dst := cfg.Pattern.Pick(rng)
+		flows = append(flows, Flow{
+			ID:     cfg.StartID + uint32(i) + 1,
+			Src:    src,
+			Dst:    dst,
+			Size:   cfg.Dist.Sample(rng),
+			Arrive: sim.Time(now),
+		})
+	}
+	return flows
+}

@@ -1,0 +1,251 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ppt/internal/netsim"
+	"ppt/internal/sim"
+)
+
+func TestWebSearchMatchesTable2(t *testing.T) {
+	// Table 2: 62% short (0-100KB), mean 1.6MB.
+	if got := WebSearch.FractionBelow(100_000); math.Abs(got-0.62) > 0.02 {
+		t.Fatalf("P(<=100KB) = %v, want ~0.62", got)
+	}
+	if m := WebSearch.Mean(); m < 1.4e6 || m > 1.8e6 {
+		t.Fatalf("mean = %v, want ~1.6MB", m)
+	}
+}
+
+func TestDataMiningMatchesTable2(t *testing.T) {
+	// Table 2: 83% short, mean 7.41MB.
+	if got := DataMining.FractionBelow(100_000); math.Abs(got-0.83) > 0.02 {
+		t.Fatalf("P(<=100KB) = %v, want ~0.83", got)
+	}
+	if m := DataMining.Mean(); m < 6.5e6 || m > 8.3e6 {
+		t.Fatalf("mean = %v, want ~7.41MB", m)
+	}
+}
+
+func TestMemcachedW1Shape(t *testing.T) {
+	// Homa W1: >70% of flows < 1000B, all < 100KB.
+	if got := MemcachedW1.FractionBelow(1_000); got < 0.70 {
+		t.Fatalf("P(<1KB) = %v, want >= 0.70", got)
+	}
+	if MemcachedW1.MaxBytes() > 100_000 {
+		t.Fatalf("max = %d, want <= 100KB", MemcachedW1.MaxBytes())
+	}
+}
+
+func TestSampleMatchesMean(t *testing.T) {
+	for _, d := range []*Dist{WebSearch, DataMining, MemcachedW1} {
+		rng := rand.New(rand.NewSource(42))
+		var sum float64
+		const n = 200_000
+		for i := 0; i < n; i++ {
+			sum += float64(d.Sample(rng))
+		}
+		got := sum / n
+		if math.Abs(got-d.Mean())/d.Mean() > 0.05 {
+			t.Errorf("%s: empirical mean %v vs analytic %v", d.Name, got, d.Mean())
+		}
+	}
+}
+
+func TestSampleMatchesCDF(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const n = 100_000
+	var below int
+	for i := 0; i < n; i++ {
+		if WebSearch.Sample(rng) <= 100_000 {
+			below++
+		}
+	}
+	got := float64(below) / n
+	if math.Abs(got-0.62) > 0.01 {
+		t.Fatalf("empirical P(<=100KB) = %v", got)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"websearch", "datamining", "memcached-w1", "memcached-etc", "youtube-http"} {
+		d, err := ByName(name)
+		if err != nil || d.Name != name {
+			t.Fatalf("ByName(%q) = %v, %v", name, d, err)
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("unknown name accepted")
+	}
+}
+
+func TestNewDistValidation(t *testing.T) {
+	for _, bad := range [][]Point{
+		{{0, 0}},                                // too few
+		{{0, 0.1}, {10, 1}},                     // does not start at 0
+		{{0, 0}, {10, 0.5}},                     // does not end at 1
+		{{0, 0}, {10, 0.5}, {5, 1}},             // bytes not increasing
+		{{0, 0}, {10, 0.8}, {20, 0.5}, {30, 1}}, // CDF decreasing
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("bad CDF %v accepted", bad)
+				}
+			}()
+			NewDist("bad", bad)
+		}()
+	}
+}
+
+func TestPropertySampleWithinSupport(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		for _, d := range []*Dist{WebSearch, DataMining, MemcachedW1, MemcachedETC, YoutubeHTTP} {
+			for i := 0; i < 100; i++ {
+				s := d.Sample(rng)
+				if s < 1 || s > d.MaxBytes() {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllToAllPicksDistinct(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	p := AllToAll{N: 8}
+	seen := make(map[int]bool)
+	for i := 0; i < 1000; i++ {
+		s, d := p.Pick(rng)
+		if s == d {
+			t.Fatal("src == dst")
+		}
+		if s < 0 || s >= 8 || d < 0 || d >= 8 {
+			t.Fatalf("out of range: %d %d", s, d)
+		}
+		seen[s*8+d] = true
+	}
+	if len(seen) != 56 {
+		t.Fatalf("only %d of 56 pairs seen", len(seen))
+	}
+}
+
+func TestIncastPicks(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	p := Incast{N: 15, Target: 0}
+	srcs := make(map[int]bool)
+	for i := 0; i < 1000; i++ {
+		s, d := p.Pick(rng)
+		if d != 0 || s == 0 {
+			t.Fatalf("bad pair %d->%d", s, d)
+		}
+		srcs[s] = true
+	}
+	if len(srcs) != 14 {
+		t.Fatalf("senders = %d, want 14", len(srcs))
+	}
+}
+
+func TestIncastRestrictedSenders(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	p := Incast{N: 100, Target: 5, Senders: 8}
+	srcs := make(map[int]bool)
+	for i := 0; i < 2000; i++ {
+		s, d := p.Pick(rng)
+		if d != 5 || s == 5 {
+			t.Fatalf("bad pair %d->%d", s, d)
+		}
+		srcs[s] = true
+	}
+	if len(srcs) != 8 {
+		t.Fatalf("senders = %d, want 8", len(srcs))
+	}
+}
+
+func TestGenerateLoad(t *testing.T) {
+	// At load 0.5 on 10G with one receiver, offered bytes/sec should be
+	// ~625MB/s.
+	cfg := GenConfig{
+		Dist:     WebSearch,
+		Pattern:  Incast{N: 15, Target: 0},
+		Load:     0.5,
+		HostRate: 10 * netsim.Gbps,
+		NumFlows: 20_000,
+		Seed:     3,
+	}
+	flows := Generate(cfg)
+	if len(flows) != 20_000 {
+		t.Fatalf("generated %d", len(flows))
+	}
+	var bytes float64
+	for _, f := range flows {
+		bytes += float64(f.Size)
+	}
+	dur := flows[len(flows)-1].Arrive.Seconds()
+	got := bytes / dur
+	want := 0.5 * 10e9 / 8
+	if math.Abs(got-want)/want > 0.1 {
+		t.Fatalf("offered %v B/s, want ~%v", got, want)
+	}
+}
+
+func TestGenerateArrivalsMonotonic(t *testing.T) {
+	flows := Generate(GenConfig{
+		Dist: DataMining, Pattern: AllToAll{N: 16}, Load: 0.6,
+		HostRate: 40 * netsim.Gbps, NumFlows: 5000, Seed: 11,
+	})
+	var prev sim.Time
+	ids := make(map[uint32]bool)
+	for _, f := range flows {
+		if f.Arrive < prev {
+			t.Fatal("arrivals not monotonic")
+		}
+		prev = f.Arrive
+		if ids[f.ID] {
+			t.Fatalf("duplicate id %d", f.ID)
+		}
+		ids[f.ID] = true
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := GenConfig{Dist: WebSearch, Pattern: AllToAll{N: 8}, Load: 0.4,
+		HostRate: 10 * netsim.Gbps, NumFlows: 100, Seed: 9}
+	a := Generate(cfg)
+	b := Generate(cfg)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different flows")
+		}
+	}
+	cfg.Seed = 10
+	c := Generate(cfg)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical flows")
+	}
+}
+
+func TestGenerateStartID(t *testing.T) {
+	cfg := GenConfig{Dist: WebSearch, Pattern: AllToAll{N: 4}, Load: 0.4,
+		HostRate: 10 * netsim.Gbps, NumFlows: 10, Seed: 1, StartID: 500}
+	for i, f := range Generate(cfg) {
+		if f.ID != uint32(501+i) {
+			t.Fatalf("flow %d has id %d", i, f.ID)
+		}
+	}
+}

@@ -1,0 +1,280 @@
+// Package ppt is the public API of this repository: a packet-level
+// reproduction of "PPT: A Pragmatic Transport for Datacenters"
+// (SIGCOMM 2024), including the PPT transport itself (dual-loop rate
+// control + buffer-aware flow scheduling), every baseline the paper
+// compares against (DCTCP, RC3, PIAS, HPCC, Homa, Aeolus, NDP, and a
+// Swift-like delay-based transport), the leaf-spine/testbed fabrics, the
+// published workloads, and one registered experiment per table and
+// figure of the paper's evaluation.
+//
+// Two entry points:
+//
+//   - Comparison: Run simulates one transport over one workload/fabric
+//     and returns the paper's FCT breakdown.
+//   - Reproduction: RunExperiment regenerates a specific table or
+//     figure (see ListExperiments, or `pptsim -list`).
+package ppt
+
+import (
+	"fmt"
+
+	"ppt/internal/bufaware"
+	"ppt/internal/exp"
+	"ppt/internal/netsim"
+	"ppt/internal/sim"
+	"ppt/internal/stats"
+	"ppt/internal/topo"
+	"ppt/internal/transport"
+	"ppt/internal/transport/aeolus"
+	"ppt/internal/transport/dctcp"
+	"ppt/internal/transport/expresspass"
+	"ppt/internal/transport/halfback"
+	"ppt/internal/transport/homa"
+	"ppt/internal/transport/hpcc"
+	"ppt/internal/transport/ndp"
+	"ppt/internal/transport/pias"
+	pptproto "ppt/internal/transport/ppt"
+	"ppt/internal/transport/rc3"
+	"ppt/internal/transport/swift"
+	"ppt/internal/workload"
+)
+
+// Transport names accepted by Config.Transport.
+const (
+	TransportPPT      = "ppt"
+	TransportDCTCP    = "dctcp"
+	TransportRC3      = "rc3"
+	TransportPIAS     = "pias"
+	TransportHPCC     = "hpcc"
+	TransportHoma     = "homa"
+	TransportAeolus   = "aeolus"
+	TransportNDP      = "ndp"
+	TransportSwift    = "swift"
+	TransportSwiftPPT = "swift+ppt"
+	// Extensions beyond the paper's evaluation:
+	TransportHPCCPPT     = "hpcc+ppt"    // appendix B: HPCC + PPT's low loop
+	TransportTCP10       = "tcp10"       // Table 1: TCP with initial window 10
+	TransportHalfback    = "halfback"    // Table 1: Halfback [23]
+	TransportExpressPass = "expresspass" // Table 1: ExpressPass [11]
+)
+
+// Transports lists every supported transport name.
+func Transports() []string {
+	return []string{
+		TransportPPT, TransportDCTCP, TransportRC3, TransportPIAS,
+		TransportHPCC, TransportHoma, TransportAeolus, TransportNDP,
+		TransportSwift, TransportSwiftPPT, TransportHPCCPPT,
+		TransportTCP10, TransportHalfback, TransportExpressPass,
+	}
+}
+
+// Topology names accepted by Config.Topology.
+const (
+	// TopologyTestbed is the paper's CloudLab profile: 15 hosts on one
+	// 10G switch, 80µs RTT, 50MB shared buffer (Table 3).
+	TopologyTestbed = "testbed"
+	// TopologySim is a 3-leaf/2-spine 40/100G oversubscribed leaf-spine
+	// slice of the paper's §6.2 fabric (48 hosts).
+	TopologySim = "sim"
+	// TopologySimFull is the paper's full 144-host, 9-leaf, 4-spine
+	// fabric.
+	TopologySimFull = "sim-full"
+	// TopologyFast is the 100/400G variant (Fig 22).
+	TopologyFast = "fast"
+	// TopologyNonOversubscribed is the 1:1 10/40G fabric (appendix E).
+	TopologyNonOversubscribed = "non-oversubscribed"
+)
+
+// Workload names accepted by Config.Workload: "websearch",
+// "datamining", "memcached-w1", "memcached-etc", "youtube-http".
+func Workloads() []string {
+	return []string{"websearch", "datamining", "memcached-w1", "memcached-etc", "youtube-http"}
+}
+
+// Config describes one simulation run.
+type Config struct {
+	Transport string  // one of Transports(); default "ppt"
+	Topology  string  // one of the Topology* names; default TopologySim
+	Workload  string  // one of Workloads(); default "websearch"
+	Load      float64 // fraction of receiver bandwidth; default 0.5
+	Flows     int     // number of flows; default 500
+	Seed      int64   // workload seed; default 1
+
+	// Incast, when > 0, uses an N-to-1 pattern with this many senders
+	// instead of all-to-all.
+	Incast int
+
+	// SendBuf models the TCP send buffer in bytes for PPT's
+	// identification and LCP reach (0 = unbounded, the paper's 2GB).
+	SendBuf int64
+}
+
+// Summary re-exports the FCT breakdown every experiment reports.
+type Summary = stats.Summary
+
+// Result re-exports a rendered experiment result.
+type Result = exp.Result
+
+// Options re-exports experiment options.
+type Options = exp.Options
+
+// Run simulates cfg to completion and returns the FCT summary.
+func Run(cfg Config) (Summary, error) {
+	if cfg.Transport == "" {
+		cfg.Transport = TransportPPT
+	}
+	if cfg.Topology == "" {
+		cfg.Topology = TopologySim
+	}
+	if cfg.Workload == "" {
+		cfg.Workload = "websearch"
+	}
+	if cfg.Load == 0 {
+		cfg.Load = 0.5
+	}
+	if cfg.Flows == 0 {
+		cfg.Flows = 500
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+
+	dist, err := workload.ByName(cfg.Workload)
+	if err != nil {
+		return Summary{}, err
+	}
+	tcfg, build, rtoMin, err := topologyFor(cfg.Topology)
+	if err != nil {
+		return Summary{}, err
+	}
+	proto, tweak, err := transportFor(cfg.Transport)
+	if err != nil {
+		return Summary{}, err
+	}
+	if tweak != nil {
+		tweak(&tcfg)
+	}
+	net := build(tcfg)
+	env := transport.NewEnv(net)
+	env.RTOMin = rtoMin
+
+	flows := buildFlows(dist, tcfg.HostRate, len(net.Hosts), cfg)
+	return transport.Run(env, proto(env), flows, transport.RunConfig{}), nil
+}
+
+func topologyFor(name string) (topo.Config, func(topo.Config) *topo.Network, sim.Time, error) {
+	leafSpine := func(leaves, spines, perLeaf int) func(topo.Config) *topo.Network {
+		return func(c topo.Config) *topo.Network { return topo.LeafSpine(leaves, spines, perLeaf, c) }
+	}
+	switch name {
+	case TopologyTestbed:
+		return topo.Config{
+			HostRate: 10 * netsim.Gbps, LinkDelay: 20 * sim.Microsecond,
+			SharedBuffer: 50 << 20, ECNHighK: 100_000, ECNLowK: 80_000,
+			DynamicLowThreshold: true,
+		}, func(c topo.Config) *topo.Network { return topo.Star(15, c) }, 10 * sim.Millisecond, nil
+	case TopologySim:
+		return topo.Config{
+			HostRate: 40 * netsim.Gbps, CoreRate: 100 * netsim.Gbps,
+			PerPortBuffer: 120_000, ECNHighK: 96_000, ECNLowK: 86_000,
+		}, leafSpine(3, 2, 8), 1 * sim.Millisecond, nil
+	case TopologySimFull:
+		return topo.Config{
+			HostRate: 40 * netsim.Gbps, CoreRate: 100 * netsim.Gbps,
+			PerPortBuffer: 120_000, ECNHighK: 96_000, ECNLowK: 86_000,
+		}, leafSpine(9, 4, 16), 1 * sim.Millisecond, nil
+	case TopologyFast:
+		return topo.Config{
+			HostRate: 100 * netsim.Gbps, CoreRate: 400 * netsim.Gbps,
+			PerPortBuffer: 300_000, ECNHighK: 240_000, ECNLowK: 215_000,
+		}, leafSpine(3, 2, 8), 1 * sim.Millisecond, nil
+	case TopologyNonOversubscribed:
+		return topo.Config{
+			HostRate: 10 * netsim.Gbps, CoreRate: 40 * netsim.Gbps,
+			PerPortBuffer: 120_000, ECNHighK: 30_000, ECNLowK: 25_000,
+		}, leafSpine(3, 2, 8), 1 * sim.Millisecond, nil
+	default:
+		return topo.Config{}, nil, 0, fmt.Errorf("ppt: unknown topology %q", name)
+	}
+}
+
+func transportFor(name string) (func(*transport.Env) transport.Protocol, func(*topo.Config), error) {
+	switch name {
+	case TransportPPT:
+		return func(*transport.Env) transport.Protocol { return pptproto.Proto{} }, nil, nil
+	case TransportDCTCP:
+		return func(*transport.Env) transport.Protocol { return dctcp.Proto{} }, nil, nil
+	case TransportRC3:
+		return func(*transport.Env) transport.Protocol { return rc3.Proto{} }, nil, nil
+	case TransportPIAS:
+		return func(*transport.Env) transport.Protocol { return pias.Proto{} },
+			func(c *topo.Config) { c.ECNLowK = c.ECNHighK }, nil
+	case TransportHPCC:
+		return func(*transport.Env) transport.Protocol { return hpcc.Proto{} },
+			func(c *topo.Config) { c.EnableINT = true }, nil
+	case TransportHoma:
+		return func(*transport.Env) transport.Protocol { return homa.New(homa.Config{}) }, nil, nil
+	case TransportAeolus:
+		return func(*transport.Env) transport.Protocol { return aeolus.New(aeolus.Config{}) },
+			func(c *topo.Config) {
+				if c.PerPortBuffer > 0 {
+					c.DroppableThresh = c.PerPortBuffer / 8
+				} else {
+					c.DroppableThresh = 24_000
+				}
+			}, nil
+	case TransportNDP:
+		return func(*transport.Env) transport.Protocol { return ndp.New(ndp.Config{}) },
+			func(c *topo.Config) { c.TrimToHeader = true }, nil
+	case TransportSwift:
+		return func(*transport.Env) transport.Protocol { return swift.Proto{} }, nil, nil
+	case TransportSwiftPPT:
+		return func(*transport.Env) transport.Protocol {
+			return swift.Proto{Cfg: swift.Config{WithPPT: true}}
+		}, nil, nil
+	case TransportHPCCPPT:
+		return func(*transport.Env) transport.Protocol { return hpcc.PPTVariant{} },
+			func(c *topo.Config) { c.EnableINT = true }, nil
+	case TransportTCP10:
+		return func(*transport.Env) transport.Protocol {
+			return dctcp.Proto{Cfg: dctcp.Config{NoECN: true}}
+		}, nil, nil
+	case TransportHalfback:
+		return func(*transport.Env) transport.Protocol { return halfback.Proto{} }, nil, nil
+	case TransportExpressPass:
+		return func(*transport.Env) transport.Protocol { return expresspass.New(expresspass.Config{}) }, nil, nil
+	default:
+		return nil, nil, fmt.Errorf("ppt: unknown transport %q (see Transports())", name)
+	}
+}
+
+// RunExperiment regenerates one of the paper's tables or figures by id
+// (e.g. "fig12", "table2", "ident").
+func RunExperiment(id string, opts Options) (*Result, error) {
+	return exp.RunByID(id, opts)
+}
+
+// ListExperiments returns the registered experiment ids and titles.
+func ListExperiments() []struct{ ID, Title string } {
+	var out []struct{ ID, Title string }
+	for _, e := range exp.List() {
+		out = append(out, struct{ ID, Title string }{e.ID, e.Title})
+	}
+	return out
+}
+
+// IdentificationAccuracy runs the §4.1 buffer-aware identification
+// experiment for the given workload/application pair and returns the
+// recall among truly-large flows.
+func IdentificationAccuracy(workloadName string, threshold, sendBuf int64, flows int, seed int64) (float64, error) {
+	dist, err := workload.ByName(workloadName)
+	if err != nil {
+		return 0, err
+	}
+	app := bufaware.Memcached
+	if workloadName == "youtube-http" {
+		app = bufaware.WebServer
+	}
+	res := bufaware.Experiment(dist, app, threshold, sendBuf, flows, seed)
+	return res.Recall, nil
+}
