@@ -5,10 +5,15 @@
 //	pptsim -list
 //	pptsim -exp fig12
 //	pptsim -exp fig8 -flows 1000 -seed 7 -repeats 3
+//	pptsim -exp fig8 -repeats 8 -parallel 4 -progress
 //	pptsim -exp fig12 -schemes ppt,dctcp -load 0.7
 //	pptsim -exp fig12 -csv   > fig12.csv
 //	pptsim -exp fig12 -json  > fig12.json
 //	pptsim -all
+//
+// Simulation cells (each scheme × repeat × load point) run on a worker
+// pool -parallel wide (default GOMAXPROCS); output is identical to a
+// serial run (-parallel 1).
 package main
 
 import (
@@ -30,16 +35,26 @@ func main() {
 		flows   = flag.Int("flows", 0, "override workload size (0 = experiment default)")
 		load    = flag.Float64("load", 0, "override network load where applicable")
 		seed    = flag.Int64("seed", 1, "workload RNG seed")
-		repeats = flag.Int("repeats", 1, "average metrics over this many seeds")
-		schemes = flag.String("schemes", "", "comma-separated scheme filter (e.g. ppt,dctcp)")
-		asCSV   = flag.Bool("csv", false, "emit results as CSV instead of tables")
-		asJSON  = flag.Bool("json", false, "emit results as JSON instead of tables")
+		repeats  = flag.Int("repeats", 1, "average metrics over this many seeds")
+		parallel = flag.Int("parallel", 0, "simulation cells to run concurrently (0 = GOMAXPROCS, 1 = serial)")
+		progress = flag.Bool("progress", false, "report per-cell progress on stderr")
+		schemes  = flag.String("schemes", "", "comma-separated scheme filter (e.g. ppt,dctcp)")
+		asCSV    = flag.Bool("csv", false, "emit results as CSV instead of tables")
+		asJSON   = flag.Bool("json", false, "emit results as JSON instead of tables")
 	)
 	flag.Parse()
 
-	opts := exp.Options{Flows: *flows, Load: *load, Seed: *seed, Repeats: *repeats}
+	opts := exp.Options{Flows: *flows, Load: *load, Seed: *seed, Repeats: *repeats, Parallel: *parallel}
 	if *schemes != "" {
 		opts.Schemes = strings.Split(*schemes, ",")
+	}
+	if *progress {
+		opts.OnProgress = func(done, total int) {
+			fmt.Fprintf(os.Stderr, "\r%d/%d cells", done, total)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
 	}
 	format = formatTable
 	if *asCSV {
@@ -83,6 +98,12 @@ func run(id string, opts exp.Options) {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	for _, row := range res.Rows {
+		if row.Sum.Truncated {
+			fmt.Fprintf(os.Stderr, "warning: %s/%s hit its event/deadline bound with %d flows unfinished; FCT stats are biased toward fast flows\n",
+				id, row.Label, row.Sum.Unfinished)
+		}
 	}
 	switch format {
 	case formatCSV:

@@ -17,6 +17,7 @@ import (
 
 	"ppt"
 	"ppt/internal/stats"
+	pptproto "ppt/internal/transport/ppt"
 )
 
 func main() {
@@ -29,8 +30,13 @@ func main() {
 		seed  = flag.Int64("seed", 1, "workload seed")
 		inc   = flag.Int("incast", 0, "N-to-1 pattern with this many senders (0 = all-to-all)")
 		out   = flag.String("out", "", "write raw per-flow CSV to this file")
+		lcpDb = flag.Bool("lcpdebug", false, "print PPT dual-loop diagnostic counters after the run")
 	)
 	flag.Parse()
+
+	// This is a single serial run, so the package-level compatibility view
+	// of the per-run counters is exact.
+	pptproto.Debug.Reset()
 
 	d, err := ppt.RunDetailed(ppt.Config{
 		Transport: *tr, Topology: *topo, Workload: *wl,
@@ -43,6 +49,10 @@ func main() {
 
 	fmt.Printf("%s on %s, %s at load %.2f, %d flows\n\n", *tr, *topo, *wl, *load, *flows)
 	s := d.Summary
+	if s.Truncated {
+		fmt.Fprintf(os.Stderr, "warning: run hit its event/deadline bound with %d flows unfinished; stats are biased toward fast flows\n",
+			s.Unfinished)
+	}
 	fmt.Printf("overall avg FCT   %v\n", s.OverallAvg)
 	fmt.Printf("small  (0,100KB]  avg %v  p99 %v  (%d flows)\n", s.SmallAvg, s.SmallP99, s.SmallCount)
 	if s.LargeCount > 0 {
@@ -57,6 +67,14 @@ func main() {
 	}
 	fmt.Println()
 	fmt.Print(stats.BucketTable(d.Buckets))
+	if *lcpDb {
+		c := pptproto.Debug.Snapshot()
+		fmt.Println()
+		fmt.Printf("lcp loops opened  case1 %d  case2 %d\n", c.Case1Opens, c.Case2Opens)
+		fmt.Printf("lcp packets       paced %d  ack-clocked %d\n", c.PacedPkts, c.ClockedPkts)
+		fmt.Printf("low-loop bytes    new %d  dup %d\n", c.NewLowBytes, c.DupLowBytes)
+		fmt.Printf("high-loop bytes   new %d  dup %d\n", c.NewHighBytes, c.DupHighBytes)
+	}
 
 	if *out != "" {
 		f, err := os.Create(*out)

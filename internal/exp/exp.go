@@ -30,6 +30,17 @@ type Options struct {
 	// independent seeds (seed, seed+1, ...). Percentiles are averaged
 	// across repeats (a mean-of-p99s, not a pooled p99).
 	Repeats int
+	// Parallel caps how many simulation cells run concurrently
+	// (0 = GOMAXPROCS, 1 = serial). Every cell builds a private fabric
+	// and scheduler, and rows are assembled from index-addressed slots in
+	// submission order, so results are identical at any setting.
+	Parallel int
+	// OnProgress, when set, observes each completed cell as (done,
+	// total). Calls are serialized but may come from worker goroutines.
+	OnProgress func(done, total int)
+
+	// errs accumulates failed cells; RunByID surfaces them as notes.
+	errs *errSink
 }
 
 func (o Options) withDefaults(defFlows int) Options {
@@ -41,6 +52,9 @@ func (o Options) withDefaults(defFlows int) Options {
 	}
 	if o.Repeats == 0 {
 		o.Repeats = 1
+	}
+	if o.errs == nil {
+		o.errs = &errSink{}
 	}
 	return o
 }
@@ -235,5 +249,10 @@ func RunByID(id string, o Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return e.Run(o.withDefaults(e.DefFlows)), nil
+	o = o.withDefaults(e.DefFlows)
+	res := e.Run(o)
+	for _, msg := range o.errs.drain() {
+		res.Notes = append(res.Notes, "cell failed: "+msg)
+	}
+	return res, nil
 }

@@ -34,21 +34,33 @@ func ablation(id, title, note string, defFlows int, variant ppt.Config, plainBuf
 				load = o.Load
 			}
 			pattern := workload.AllToAll{N: fab.hosts}
-			var rows []Row
+			p := newPool(o)
+			var outs []*cellOut
+			var names []string
 			for _, cfg := range []ppt.Config{{}, variant} {
 				sc := pptScheme((ppt.Proto{Cfg: cfg}).Name(), cfg)
-				sum, env := execute(runSpec{fab: fab, sc: sc, dist: workload.WebSearch,
-					pattern: pattern, load: load, flows: o.Flows, seed: o.Seed})
-				var lowDrops, lowMarks int64
-				for _, p := range env.Net.SwitchPorts() {
-					lowDrops += p.Stats.DropsLow
-					lowMarks += p.Stats.MarksLow
+				names = append(names, sc.name)
+				outs = append(outs, p.submitSpec(sc.name, runSpec{fab: fab, sc: sc,
+					dist: workload.WebSearch, pattern: pattern, load: load,
+					flows: o.Flows, seed: o.Seed}))
+			}
+			p.run()
+			var rows []Row
+			for i, out := range outs {
+				if out.failed() {
+					rows = append(rows, Row{Label: names[i]})
+					continue
 				}
-				rows = append(rows, Row{Label: sc.name, Sum: sum, Extra: map[string]float64{
-					"low-eff":    env.Eff.LowLoop(),
+				var lowDrops, lowMarks int64
+				for _, sp := range out.env.Net.SwitchPorts() {
+					lowDrops += sp.Stats.DropsLow
+					lowMarks += sp.Stats.MarksLow
+				}
+				rows = append(rows, Row{Label: names[i], Sum: out.sum, Extra: map[string]float64{
+					"low-eff":    out.env.Eff.LowLoop(),
 					"low-drops":  float64(lowDrops),
 					"low-marks":  float64(lowMarks),
-					"low-sentMB": float64(env.Eff.SentLowPayload) / 1e6,
+					"low-sentMB": float64(out.env.Eff.SentLowPayload) / 1e6,
 				}})
 			}
 			return &Result{ID: id, Title: title, Rows: rows, Notes: []string{note,
@@ -81,6 +93,9 @@ func init() {
 			if o.Load != 0 {
 				load = o.Load
 			}
+			// Deliberately serial: this experiment measures wall-clock per
+			// simulated event, which sharing cores with sibling cells would
+			// distort.
 			measure := func(sc scheme) Row {
 				start := time.Now()
 				sum, env := execute(runSpec{fab: fab, sc: sc, dist: workload.WebSearch,
@@ -105,11 +120,18 @@ func init() {
 		Title:    "Link utilization: PPT vs DCTCP vs hypothetical DCTCP (ideal 0.5)",
 		DefFlows: 400,
 		Run: func(o Options) *Result {
-			rows := []Row{
-				utilizationRun(o, 0.5, func(*transport.Env) transport.Protocol { return dctcp.Proto{} }, 0),
-				utilizationRun(o, 0.5, func(*transport.Env) transport.Protocol { return ppt.Proto{} }, 0),
-				utilizationRun(o, 0.5, nil, 1.0),
-			}
+			p := newPool(o)
+			rows := make([]Row, 3)
+			p.submit("fig20 dctcp", func() {
+				rows[0] = utilizationRun(o, 0.5, func(*transport.Env) transport.Protocol { return dctcp.Proto{} }, 0)
+			})
+			p.submit("fig20 ppt", func() {
+				rows[1] = utilizationRun(o, 0.5, func(*transport.Env) transport.Protocol { return ppt.Proto{} }, 0)
+			})
+			p.submit("fig20 hypothetical", func() {
+				rows[2] = utilizationRun(o, 0.5, nil, 1.0)
+			})
+			p.run()
 			return &Result{ID: "fig20", Title: "bottleneck utilization under web search at 0.5 load",
 				Rows:  rows,
 				Notes: []string{"paper: PPT ~ hypothetical, both hold ~50%; DCTCP dips to ~25% (up to 1.8x lower)"}}
@@ -127,7 +149,9 @@ func init() {
 				load = o.Load
 			}
 			pattern := workload.AllToAll{N: fab.hosts}
-			var rows []Row
+			p := newPool(o)
+			var outs []*cellOut
+			var names []string
 			for _, frac := range []float64{0.2, 0.4, 0.6, 0.8} {
 				frac := frac
 				sc := scheme{
@@ -135,11 +159,18 @@ func init() {
 					tweak: func(c *topo.Config) { c.LowClassCap = int64(frac * float64(c.PerPortBuffer)) },
 					make:  func(*transport.Env) transport.Protocol { return rc3.Proto{} },
 				}
-				sum, _ := execute(runSpec{fab: fab, sc: sc, dist: workload.WebSearch,
-					pattern: pattern, load: load, flows: o.Flows, seed: o.Seed})
-				rows = append(rows, Row{Label: sc.name, Sum: sum})
+				names = append(names, sc.name)
+				outs = append(outs, p.submitSpec(sc.name, runSpec{fab: fab, sc: sc,
+					dist: workload.WebSearch, pattern: pattern, load: load,
+					flows: o.Flows, seed: o.Seed}))
 			}
-			rows = append(rows, compare(o, fab, workload.WebSearch, pattern, load, []string{"ppt"})...)
+			pptRows := compareCells(p, o, fab, workload.WebSearch, pattern, load, []string{"ppt"})
+			p.run()
+			var rows []Row
+			for i, out := range outs {
+				rows = append(rows, Row{Label: names[i], Sum: out.sum})
+			}
+			rows = append(rows, pptRows()...)
 			return &Result{ID: "fig24", Title: "RC3 low-priority buffer caps",
 				Rows:  rows,
 				Notes: []string{"paper: PPT beats RC3 at every cap, by up to 71% overall and 73%/75% small avg/tail"}}
@@ -168,16 +199,24 @@ func init() {
 				load = o.Load
 			}
 			pattern := workload.AllToAll{N: fab.hosts}
-			var rows []Row
+			p := newPool(o)
+			var outs []*cellOut
+			var names []string
 			for _, buf := range []int64{128 << 10, 2 << 20, 4 << 20, 0 /* 2GB: unbounded */} {
 				label := "sndbuf-2GB"
 				if buf != 0 {
 					label = fmt.Sprintf("sndbuf-%dKB", buf>>10)
 				}
 				cfg := ppt.Config{SendBuf: buf}
-				sum, _ := execute(runSpec{fab: fab, sc: pptScheme(label, cfg), dist: workload.WebSearch,
-					pattern: pattern, load: load, flows: o.Flows, seed: o.Seed, sendBuf: buf})
-				rows = append(rows, Row{Label: label, Sum: sum})
+				names = append(names, label)
+				outs = append(outs, p.submitSpec(label, runSpec{fab: fab, sc: pptScheme(label, cfg),
+					dist: workload.WebSearch, pattern: pattern, load: load,
+					flows: o.Flows, seed: o.Seed, sendBuf: buf}))
+			}
+			p.run()
+			var rows []Row
+			for i, out := range outs {
+				rows = append(rows, Row{Label: names[i], Sum: out.sum})
 			}
 			return &Result{ID: "fig27", Title: "send-buffer sensitivity",
 				Rows:  rows,
@@ -206,43 +245,30 @@ func bufferStudy(o Options, efficiency bool) *Result {
 	if o.Load != 0 {
 		load = o.Load
 	}
-	var rows []Row
+	type cell struct {
+		name, label string
+		k           int64
+	}
+	var cells []cell
 	for _, frac := range []float64{0.6, 0.8} {
 		k := int64(frac * 120_000)
 		for _, name := range []string{"dctcp", "rc3", "ppt"} {
 			if !o.wants(name) {
 				continue
 			}
-			sc := baseSchemes()[name]
-			fab := dumbbellFabric(2, k)
-			fab.cfg.ECNLowK = k // same threshold for both classes (per the paper)
-			cfg := fab.cfg
-			if sc.tweak != nil {
-				sc.tweak(&cfg)
-			}
-			net := fab.build(cfg)
-			env := transport.NewEnv(net)
-			env.RTOMin = fab.rtoMin
-			bs := stats.SampleBuffers(env.Sched(), net.Switches[0].Port(0), 20*sim.Microsecond)
-			flows := makeFlows(cfg, workload.WebSearch, workload.Incast{N: 3, Target: 0}, load, o.Flows, o.Seed)
-			sum := transport.Run(env, sc.make(env), flows, transport.RunConfig{})
-			bs.Stop()
-			hi, lo := bs.MeanOccupancy()
-			row := Row{Label: fmt.Sprintf("%s@K=%d%%", name, int(frac*100)), Sum: sum}
-			if efficiency {
-				row.Extra = map[string]float64{
-					"transfer-eff": env.Eff.Overall(),
-					"low-eff":      env.Eff.LowLoop(),
-				}
-			} else {
-				row.Extra = map[string]float64{
-					"high-occ-KB": hi / 1000,
-					"low-occ-KB":  lo / 1000,
-				}
-			}
-			rows = append(rows, row)
+			cells = append(cells, cell{name, fmt.Sprintf("%s@K=%d%%", name, int(frac*100)), k})
 		}
 	}
+	p := newPool(o)
+	rows := make([]Row, len(cells))
+	for i, c := range cells {
+		i, c := i, c
+		rows[i] = Row{Label: c.label}
+		p.submit(c.label, func() {
+			rows[i] = runBufferCell(o, c.name, c.label, c.k, load, efficiency)
+		})
+	}
+	p.run()
 	title := "per-class buffer occupancy"
 	notes := []string{"paper: PPT's low-priority queue holds only 2.6-3.1% of occupancy; RC3's holds 17.4-30.2%"}
 	id := "fig28"
@@ -252,4 +278,38 @@ func bufferStudy(o Options, efficiency bool) *Result {
 		notes = []string{"paper: PPT ~ DCTCP; RC3 loses 14.6-18.4% overall and ~50% on the low-priority loop"}
 	}
 	return &Result{ID: id, Title: title, Rows: rows, Notes: notes}
+}
+
+// runBufferCell is one bufferStudy cell: a fresh dumbbell with the given
+// shared ECN threshold, a buffer-occupancy sampler on the bottleneck,
+// and one scheme driven to completion.
+func runBufferCell(o Options, name, label string, k int64, load float64, efficiency bool) Row {
+	sc := baseSchemes()[name]
+	fab := dumbbellFabric(2, k)
+	fab.cfg.ECNLowK = k // same threshold for both classes (per the paper)
+	cfg := fab.cfg
+	if sc.tweak != nil {
+		sc.tweak(&cfg)
+	}
+	net := fab.build(cfg)
+	env := transport.NewEnv(net)
+	env.RTOMin = fab.rtoMin
+	bs := stats.SampleBuffers(env.Sched(), net.Switches[0].Port(0), 20*sim.Microsecond)
+	flows := makeFlows(cfg, workload.WebSearch, workload.Incast{N: 3, Target: 0}, load, o.Flows, o.Seed)
+	sum := transport.Run(env, sc.make(env), flows, transport.RunConfig{})
+	bs.Stop()
+	hi, lo := bs.MeanOccupancy()
+	row := Row{Label: label, Sum: sum}
+	if efficiency {
+		row.Extra = map[string]float64{
+			"transfer-eff": env.Eff.Overall(),
+			"low-eff":      env.Eff.LowLoop(),
+		}
+	} else {
+		row.Extra = map[string]float64{
+			"high-occ-KB": hi / 1000,
+			"low-occ-KB":  lo / 1000,
+		}
+	}
+	return row
 }

@@ -23,10 +23,21 @@ func init() {
 		Run: func(o Options) *Result {
 			fab := simFabric(3, 2, 8)
 			schemes := []string{"dctcp", "homa", "ppt"}
-			var rows []Row
+			p := newPool(o)
+			type point struct {
+				load   float64
+				reduce func() []Row
+			}
+			var points []point
 			for _, load := range []float64{0.3, 0.5, 0.8} {
-				for _, r := range compare(o, fab, workload.WebSearch, workload.AllToAll{N: fab.hosts}, load, schemes) {
-					r.Label = fmt.Sprintf("%s@%.1f", r.Label, load)
+				points = append(points, point{load,
+					compareCells(p, o, fab, workload.WebSearch, workload.AllToAll{N: fab.hosts}, load, schemes)})
+			}
+			p.run()
+			var rows []Row
+			for _, pt := range points {
+				for _, r := range pt.reduce() {
+					r.Label = fmt.Sprintf("%s@%.1f", r.Label, pt.load)
 					rows = append(rows, r)
 				}
 			}

@@ -105,11 +105,20 @@ func init() {
 		Run: func(o Options) *Result {
 			fab := simFabric(3, 2, 8)
 			pattern := workload.AllToAll{N: fab.hosts}
-			rows := compare(o, fab, workload.WebSearch, pattern, 0.5, []string{"ndp", "homa", "dctcp"})
-			if o.wants("hypothetical") {
-				flows := makeFlows(fab.cfg, workload.WebSearch, pattern, 0.5, o.Flows, o.Seed)
-				sum, _ := runOracle(fab, flows, 1.0)
-				rows = append(rows, Row{Label: "hypothetical", Sum: sum})
+			p := newPool(o)
+			baseRows := compareCells(p, o, fab, workload.WebSearch, pattern, 0.5, []string{"ndp", "homa", "dctcp"})
+			var oracleSum stats.Summary
+			wantOracle := o.wants("hypothetical")
+			if wantOracle {
+				p.submit("hypothetical", func() {
+					flows := makeFlows(fab.cfg, workload.WebSearch, pattern, 0.5, o.Flows, o.Seed)
+					oracleSum, _ = runOracle(fab, flows, 1.0)
+				})
+			}
+			p.run()
+			rows := baseRows()
+			if wantOracle {
+				rows = append(rows, Row{Label: "hypothetical", Sum: oracleSum})
 			}
 			return &Result{ID: "fig2", Title: "overall avg FCT, hypothetical DCTCP vs baselines",
 				Rows:  rows,
@@ -124,20 +133,30 @@ func init() {
 		Run: func(o Options) *Result {
 			fab := simFabric(3, 2, 8)
 			pattern := workload.AllToAll{N: fab.hosts}
+			// flows is shared read-only by every cell: each oracle pass
+			// copies what it needs into its own fabric.
 			flows := makeFlows(fab.cfg, workload.DataMining, pattern, 0.6, o.Flows, o.Seed)
-			var rows []Row
-			for _, frac := range []float64{0.5, 0.75, 1.0, 1.25, 1.5} {
-				sum, env := runOracle(fab, flows, frac)
-				var drops int64
-				for _, p := range env.Net.SwitchPorts() {
-					drops += p.Stats.Drops
-				}
-				rows = append(rows, Row{
-					Label: fmt.Sprintf("fill-%.2fxMW", frac),
-					Sum:   sum,
-					Extra: map[string]float64{"switch-drops": float64(drops)},
+			fracs := []float64{0.5, 0.75, 1.0, 1.25, 1.5}
+			p := newPool(o)
+			rows := make([]Row, len(fracs))
+			for i, frac := range fracs {
+				i, frac := i, frac
+				label := fmt.Sprintf("fill-%.2fxMW", frac)
+				rows[i] = Row{Label: label}
+				p.submit(label, func() {
+					sum, env := runOracle(fab, flows, frac)
+					var drops int64
+					for _, sp := range env.Net.SwitchPorts() {
+						drops += sp.Stats.Drops
+					}
+					rows[i] = Row{
+						Label: label,
+						Sum:   sum,
+						Extra: map[string]float64{"switch-drops": float64(drops)},
+					}
 				})
 			}
+			p.run()
 			return &Result{ID: "fig3", Title: "FCT vs fill fraction of MW",
 				Rows:  rows,
 				Notes: []string{"paper: under-filling (0.5xMW) wastes capacity; over-filling (1.5xMW) bursts and loses packets; 1.0xMW is the sweet spot"}}

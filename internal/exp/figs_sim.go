@@ -83,11 +83,22 @@ func init() {
 				load = o.Load
 			}
 			schemes := []string{"ndp", "aeolus", "homa", "dctcp", "ppt"}
-			var rows []Row
+			p := newPool(o)
+			type point struct {
+				n      int
+				reduce func() []Row
+			}
+			var points []point
 			for _, n := range []int{4, 8, 16, fab.hosts - 1} {
 				pattern := workload.Incast{N: fab.hosts, Target: 0, Senders: n}
-				for _, r := range compare(o, fab, workload.WebSearch, pattern, load, schemes) {
-					r.Label = fmt.Sprintf("%s-N%d", r.Label, n)
+				points = append(points, point{n,
+					compareCells(p, o, fab, workload.WebSearch, pattern, load, schemes)})
+			}
+			p.run()
+			var rows []Row
+			for _, pt := range points {
+				for _, r := range pt.reduce() {
+					r.Label = fmt.Sprintf("%s-N%d", r.Label, pt.n)
 					rows = append(rows, r)
 				}
 			}

@@ -11,19 +11,31 @@ import (
 var testbedSchemes = []string{"homa", "rc3", "dctcp", "ppt"}
 
 // loadSweep runs the 15-to-15 pattern across loads for one workload.
+// All (load × scheme × repeat) cells go into one pool.
 func loadSweep(o Options, dist *workload.Dist, loads []float64) []Row {
 	fab := testbedFabric()
-	var rows []Row
+	p := newPool(o)
+	type point struct {
+		load   float64
+		reduce func() []Row
+	}
+	var points []point
 	for _, load := range loads {
 		if o.Load != 0 {
 			load = o.Load
 		}
-		for _, r := range compare(o, fab, dist, workload.AllToAll{N: fab.hosts}, load, testbedSchemes) {
-			r.Label = fmt.Sprintf("%s@%.1f", r.Label, load)
-			rows = append(rows, r)
-		}
+		points = append(points, point{load,
+			compareCells(p, o, fab, dist, workload.AllToAll{N: fab.hosts}, load, testbedSchemes)})
 		if o.Load != 0 {
 			break
+		}
+	}
+	p.run()
+	var rows []Row
+	for _, pt := range points {
+		for _, r := range pt.reduce() {
+			r.Label = fmt.Sprintf("%s@%.1f", r.Label, pt.load)
+			rows = append(rows, r)
 		}
 	}
 	return rows

@@ -1,0 +1,166 @@
+package exp
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+
+	"ppt/internal/stats"
+	"ppt/internal/transport"
+)
+
+// This file is the parallel experiment runner. Every simulation cell —
+// one (scheme × repeat × load point) execution — is a pure function of
+// its runSpec: it builds a private fabric, scheduler, and Env, so cells
+// are independent and can run on separate goroutines. Experiments submit
+// their cells to a pool, run it, and then reduce the index-addressed
+// outputs in program order, which makes the assembled rows (and hence
+// Render()/CSV() output) byte-identical at any worker count.
+
+// errSink collects cell failures across one experiment run; Options
+// carries it (by pointer) into every nested compare/sweep so RunByID can
+// surface failures as result notes. A nil sink logs to stderr instead.
+type errSink struct {
+	mu   sync.Mutex
+	msgs []string
+}
+
+func (s *errSink) add(msg string) {
+	if s == nil {
+		fmt.Fprintln(os.Stderr, "exp: "+msg)
+		return
+	}
+	s.mu.Lock()
+	s.msgs = append(s.msgs, msg)
+	s.mu.Unlock()
+}
+
+func (s *errSink) drain() []string {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	out := s.msgs
+	s.msgs = nil
+	s.mu.Unlock()
+	return out
+}
+
+// poolJob is one submitted cell.
+type poolJob struct {
+	label string
+	fn    func()
+	err   error
+}
+
+// cellOut is the landing slot for one execute() cell.
+type cellOut struct {
+	sum stats.Summary
+	env *transport.Env
+	job *poolJob
+}
+
+func (c *cellOut) failed() bool { return c.job.err != nil }
+
+// pool fans submitted cells across worker goroutines. Submission order
+// is preserved: each job writes only its own slot, and failures are
+// reported in submission order after the run, so output never depends on
+// goroutine scheduling.
+type pool struct {
+	opts Options
+	jobs []*poolJob
+}
+
+func newPool(o Options) *pool { return &pool{opts: o} }
+
+// submit registers fn as one cell. fn runs exactly once during run(),
+// possibly on another goroutine; a panic inside it fails the cell (the
+// job's err) instead of the process.
+func (p *pool) submit(label string, fn func()) *poolJob {
+	j := &poolJob{label: label, fn: fn}
+	p.jobs = append(p.jobs, j)
+	return j
+}
+
+// submitSpec registers one execute() cell and returns its output slot,
+// valid after run().
+func (p *pool) submitSpec(label string, spec runSpec) *cellOut {
+	out := &cellOut{}
+	out.job = p.submit(label, func() { out.sum, out.env = execute(spec) })
+	return out
+}
+
+// workers resolves the concurrency: Options.Parallel, defaulting to
+// GOMAXPROCS, never more than there are jobs.
+func (p *pool) workers() int {
+	w := p.opts.Parallel
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > len(p.jobs) {
+		w = len(p.jobs)
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// run executes every submitted job and blocks until all are done.
+func (p *pool) run() {
+	total := len(p.jobs)
+	if total == 0 {
+		return
+	}
+	var mu sync.Mutex
+	var done int
+	finished := func() {
+		if p.opts.OnProgress == nil {
+			return
+		}
+		mu.Lock()
+		done++
+		p.opts.OnProgress(done, total)
+		mu.Unlock()
+	}
+	if w := p.workers(); w == 1 {
+		for _, j := range p.jobs {
+			j.runOne()
+			finished()
+		}
+	} else {
+		idx := make(chan int)
+		var wg sync.WaitGroup
+		wg.Add(w)
+		for i := 0; i < w; i++ {
+			go func() {
+				defer wg.Done()
+				for k := range idx {
+					p.jobs[k].runOne()
+					finished()
+				}
+			}()
+		}
+		for k := range p.jobs {
+			idx <- k
+		}
+		close(idx)
+		wg.Wait()
+	}
+	// Report failures in submission order, not completion order.
+	for _, j := range p.jobs {
+		if j.err != nil {
+			p.opts.errs.add(fmt.Sprintf("%s: %v", j.label, j.err))
+		}
+	}
+}
+
+func (j *poolJob) runOne() {
+	defer func() {
+		if r := recover(); r != nil {
+			j.err = fmt.Errorf("panic: %v", r)
+		}
+	}()
+	j.fn()
+}

@@ -1,0 +1,131 @@
+package exp
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestSerialAndParallelIdentical is the tentpole guarantee: the worker
+// pool must not change results. A multi-scheme, multi-load, multi-repeat
+// experiment rendered from a serial run and from a 4-wide parallel run
+// must be byte-identical (tables and CSV).
+func TestSerialAndParallelIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs fig8 twice")
+	}
+	run := func(parallel int) (string, string) {
+		res, err := RunByID("fig8", Options{Flows: 20, Seed: 3, Repeats: 2, Parallel: parallel})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Render(), res.CSV()
+	}
+	serialTable, serialCSV := run(1)
+	parTable, parCSV := run(4)
+	if serialTable != parTable {
+		t.Fatalf("Render() differs between serial and parallel runs:\n--- serial ---\n%s\n--- parallel ---\n%s", serialTable, parTable)
+	}
+	if serialCSV != parCSV {
+		t.Fatalf("CSV() differs between serial and parallel runs:\n--- serial ---\n%s\n--- parallel ---\n%s", serialCSV, parCSV)
+	}
+}
+
+// TestPoolPreservesSubmissionOrder checks the index-addressed slot
+// design: outputs land by submission order no matter which worker
+// finishes first.
+func TestPoolPreservesSubmissionOrder(t *testing.T) {
+	p := newPool(Options{Parallel: 4})
+	const n = 32
+	out := make([]int, n)
+	for i := 0; i < n; i++ {
+		i := i
+		p.submit("job", func() { out[i] = i + 1 })
+	}
+	p.run()
+	for i, v := range out {
+		if v != i+1 {
+			t.Fatalf("slot %d = %d, want %d", i, v, i+1)
+		}
+	}
+}
+
+// TestPoolCapturesPanics: a panicking cell fails that cell — reported
+// through the error sink in submission order — without killing the
+// process or the sibling cells.
+func TestPoolCapturesPanics(t *testing.T) {
+	o := Options{Parallel: 2, errs: &errSink{}}
+	p := newPool(o)
+	ok := make([]bool, 3)
+	p.submit("good-0", func() { ok[0] = true })
+	j := p.submit("bad", func() { panic("boom") })
+	p.submit("good-2", func() { ok[2] = true })
+	p.run()
+	if !ok[0] || !ok[2] {
+		t.Fatal("sibling cells did not complete")
+	}
+	if j.err == nil {
+		t.Fatal("panicking job has no error")
+	}
+	msgs := o.errs.drain()
+	if len(msgs) != 1 || msgs[0] != "bad: panic: boom" {
+		t.Fatalf("error sink = %q", msgs)
+	}
+}
+
+// TestPoolFailedCellSurfacesAsNote: end to end, a cell that panics turns
+// into a result note, not a crash.
+func TestPoolFailedCellSurfacesAsNote(t *testing.T) {
+	o := Options{}.withDefaults(1)
+	p := newPool(o)
+	p.submit("exploding cell", func() { panic("kaboom") })
+	p.run()
+	notes := o.errs.drain()
+	if len(notes) != 1 {
+		t.Fatalf("notes = %q", notes)
+	}
+}
+
+// TestPoolProgressReporting: every cell is reported exactly once, done
+// reaching total.
+func TestPoolProgressReporting(t *testing.T) {
+	var mu sync.Mutex
+	var seen []int
+	o := Options{Parallel: 3, OnProgress: func(done, total int) {
+		if total != 5 {
+			t.Errorf("total = %d, want 5", total)
+		}
+		mu.Lock()
+		seen = append(seen, done)
+		mu.Unlock()
+	}}
+	p := newPool(o)
+	for i := 0; i < 5; i++ {
+		p.submit("job", func() {})
+	}
+	p.run()
+	if len(seen) != 5 {
+		t.Fatalf("progress calls = %d, want 5", len(seen))
+	}
+	for i, d := range seen {
+		if d != i+1 {
+			t.Fatalf("progress sequence = %v", seen)
+		}
+	}
+}
+
+// TestPoolSerialWhenParallelOne: Parallel=1 must not spawn workers (the
+// jobs run on the calling goroutine, keeping e.g. testing.T usage legal).
+func TestPoolSerialWhenParallelOne(t *testing.T) {
+	p := newPool(Options{Parallel: 1})
+	var order []int
+	for i := 0; i < 4; i++ {
+		i := i
+		p.submit("job", func() { order = append(order, i) })
+	}
+	p.run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("serial execution order = %v", order)
+		}
+	}
+}

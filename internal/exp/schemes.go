@@ -1,6 +1,8 @@
 package exp
 
 import (
+	"fmt"
+
 	"ppt/internal/bufaware"
 	"ppt/internal/netsim"
 	"ppt/internal/sim"
@@ -226,14 +228,31 @@ func execute(spec runSpec) (stats.Summary, *transport.Env) {
 }
 
 // compare runs the given schemes over one workload and assembles rows,
-// averaging over Options.Repeats seeds.
+// averaging over Options.Repeats seeds. Cells run on the worker pool
+// (Options.Parallel wide).
 func compare(o Options, fab fabric, dist *workload.Dist, pattern workload.Pattern, load float64, names []string) []Row {
+	p := newPool(o)
+	rows := compareCells(p, o, fab, dist, pattern, load, names)
+	p.run()
+	return rows()
+}
+
+// compareCells submits one cell per (scheme × repeat) to p and returns
+// the reducer that assembles the rows once p.run() has completed.
+// Splitting submission from reduction lets multi-load/multi-N sweeps
+// flatten every cell into one pool instead of running one pool per
+// sweep point.
+func compareCells(p *pool, o Options, fab fabric, dist *workload.Dist, pattern workload.Pattern, load float64, names []string) func() []Row {
 	all := baseSchemes()
 	repeats := o.Repeats
 	if repeats < 1 {
 		repeats = 1
 	}
-	var rows []Row
+	type schemeCells struct {
+		name string
+		outs []*cellOut
+	}
+	var cells []schemeCells
 	for _, name := range names {
 		if !o.wants(name) {
 			continue
@@ -242,17 +261,36 @@ func compare(o Options, fab fabric, dist *workload.Dist, pattern workload.Patter
 		if !ok {
 			continue
 		}
-		sums := make([]stats.Summary, 0, repeats)
+		outs := make([]*cellOut, repeats)
 		for rep := 0; rep < repeats; rep++ {
-			sum, _ := execute(runSpec{
-				fab: fab, sc: sc, dist: dist, pattern: pattern,
-				load: load, flows: o.Flows, seed: o.Seed + int64(rep),
-			})
-			sums = append(sums, sum)
+			outs[rep] = p.submitSpec(
+				fmt.Sprintf("%s load=%g seed=%d", name, load, o.Seed+int64(rep)),
+				runSpec{
+					fab: fab, sc: sc, dist: dist, pattern: pattern,
+					load: load, flows: o.Flows, seed: o.Seed + int64(rep),
+				})
 		}
-		rows = append(rows, Row{Label: name, Sum: meanSummary(sums)})
+		cells = append(cells, schemeCells{name, outs})
 	}
-	return rows
+	return func() []Row {
+		rows := make([]Row, 0, len(cells))
+		for _, c := range cells {
+			sums := make([]stats.Summary, 0, len(c.outs))
+			for _, out := range c.outs {
+				if !out.failed() {
+					sums = append(sums, out.sum)
+				}
+			}
+			if len(sums) == 0 {
+				// Every repeat failed (and was reported via the error
+				// sink): keep the row so the table shape is stable.
+				rows = append(rows, Row{Label: c.name})
+				continue
+			}
+			rows = append(rows, Row{Label: c.name, Sum: meanSummary(sums)})
+		}
+		return rows
+	}
 }
 
 // meanSummary averages summaries across repeats (metric-wise).
@@ -270,10 +308,15 @@ func meanSummary(sums []stats.Summary) stats.Summary {
 		out.SmallAvg += s.SmallAvg
 		out.SmallP99 += s.SmallP99
 		out.LargeAvg += s.LargeAvg
+		if s.Truncated {
+			out.Truncated = true
+		}
+		out.Unfinished += s.Unfinished
 	}
 	out.Flows /= len(sums)
 	out.SmallCount /= len(sums)
 	out.LargeCount /= len(sums)
+	out.Unfinished /= len(sums)
 	out.OverallAvg /= n
 	out.SmallAvg /= n
 	out.SmallP99 /= n

@@ -235,6 +235,27 @@ func TestAeolusSelectiveDrop(t *testing.T) {
 	}
 }
 
+func TestRandomLossCountedSeparately(t *testing.T) {
+	// Regression: injected losses must land in RandomDrops only — they
+	// used to also bump Drops/DropsLow, overstating congestion loss under
+	// fault injection.
+	s := sim.NewScheduler()
+	p, k := newTestPort(s, PortConfig{Rate: 10 * Gbps, LossProb: 1.0, LossSeed: 1}, nil)
+	for i := 0; i < 5; i++ {
+		p.Enqueue(DataPacket(uint32(i), 0, 1, 0, 1400, 6))
+	}
+	s.Run()
+	if len(k.pkts) != 0 {
+		t.Fatalf("delivered %d, want 0 at LossProb=1", len(k.pkts))
+	}
+	if p.Stats.RandomDrops != 5 {
+		t.Fatalf("random drops = %d, want 5", p.Stats.RandomDrops)
+	}
+	if p.Stats.Drops != 0 || p.Stats.DropsLow != 0 {
+		t.Fatalf("injected losses leaked into congestion counters: %+v", p.Stats)
+	}
+}
+
 func TestLowClassCap(t *testing.T) {
 	s := sim.NewScheduler()
 	p, k := newTestPort(s, PortConfig{Rate: 10 * Gbps, LowClassCap: 2000}, nil)

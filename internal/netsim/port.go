@@ -111,10 +111,10 @@ type PortStats struct {
 	TxBytes      int64 // bytes fully serialized out
 	TxPackets    int64
 	RxPackets    int64 // packets offered to Enqueue
-	Drops        int64
-	DropsLow     int64 // drops of low-class packets
+	Drops        int64 // congestion/admission drops (excludes injected losses)
+	DropsLow     int64 // of Drops, low-class packets
 	Trims        int64
-	RandomDrops  int64 // injected (non-congestion) losses
+	RandomDrops  int64 // injected (non-congestion) losses; disjoint from Drops
 	MarksHigh    int64
 	MarksLow     int64
 	TxDataBytes  int64 // payload bytes of Data packets sent
@@ -192,8 +192,10 @@ func (p *Port) Enqueue(pkt *Packet) {
 		return
 	}
 	if p.cfg.LossProb > 0 && pkt.Kind == Data && p.randomLoss() {
+		// Injected losses are counted on their own: folding them into
+		// Drops/DropsLow via drop() would overstate congestion loss under
+		// fault injection.
 		p.Stats.RandomDrops++
-		p.drop(pkt)
 		return
 	}
 	// Header-sized control packets (ACKs, grants, pulls, NACKs) are

@@ -64,6 +64,12 @@ type Summary struct {
 
 	LargeCount int
 	LargeAvg   sim.Time // mean FCT, (100KB, inf)
+
+	// Truncated reports that the run hit its MaxEvents or Deadline bound
+	// before every flow completed, so the numbers above cover only the
+	// Unfinished-short subset and understate tail behaviour.
+	Truncated  bool
+	Unfinished int // flows still open when the bound tripped
 }
 
 // Summarize computes the standard breakdown.
@@ -99,8 +105,12 @@ func (c *Collector) Summarize() Summary {
 }
 
 func (s Summary) String() string {
-	return fmt.Sprintf("flows=%d overall=%v small(avg=%v p99=%v n=%d) large(avg=%v n=%d)",
+	out := fmt.Sprintf("flows=%d overall=%v small(avg=%v p99=%v n=%d) large(avg=%v n=%d)",
 		s.Flows, s.OverallAvg, s.SmallAvg, s.SmallP99, s.SmallCount, s.LargeAvg, s.LargeCount)
+	if s.Truncated {
+		out += fmt.Sprintf(" TRUNCATED(unfinished=%d)", s.Unfinished)
+	}
+	return out
 }
 
 // Percentile returns the p-quantile (0 < p <= 1) of xs by

@@ -10,6 +10,7 @@ package aeolus
 
 import (
 	"sort"
+	"sync/atomic"
 
 	"ppt/internal/netsim"
 	"ppt/internal/sim"
@@ -54,7 +55,9 @@ type grantInfo struct {
 	ResendLen int64
 }
 
-// Debug counters for diagnostic harnesses.
+// Debug counters for diagnostic harnesses. Updated atomically so
+// concurrent runs (the parallel experiment pool) stay race-free; the
+// values then aggregate across whatever runs share the process.
 var Debug struct {
 	HoleReqs, RetryReqs, Keepalives int64
 	ResendBytes, GrantBytes         int64
@@ -130,7 +133,7 @@ func (s *sender) armKeepalive() {
 		pkt := netsim.DataPacket(s.f.ID, s.f.Src.ID(), s.f.Dst.ID(), 0, int32(min64(netsim.MSS, s.f.Size)), 1)
 		pkt.Meta = &dataInfo{Size: s.f.Size}
 		pkt.Retrans = true
-		Debug.Keepalives++
+		atomic.AddInt64(&Debug.Keepalives, 1)
 		s.f.Src.Send(pkt)
 		s.armKeepalive()
 	})
@@ -147,7 +150,7 @@ func (s *sender) Handle(pkt *netsim.Packet) {
 	// at the scheduled priority.
 	if gi.ResendLen > 0 {
 		end := min64(gi.ResendSeq+gi.ResendLen, s.f.Size)
-		Debug.ResendBytes += end - gi.ResendSeq
+		atomic.AddInt64(&Debug.ResendBytes, end-gi.ResendSeq)
 		for seq := gi.ResendSeq; seq < end; seq += netsim.MSS {
 			n := int32(min64(seq+netsim.MSS, end) - seq)
 			rp := netsim.DataPacket(s.f.ID, s.f.Src.ID(), s.f.Dst.ID(), seq, n, gi.Prio)
@@ -158,7 +161,7 @@ func (s *sender) Handle(pkt *netsim.Packet) {
 	}
 	limit := min64(gi.UpTo, s.f.Size)
 	if limit > s.sentNext {
-		Debug.GrantBytes += limit - s.sentNext
+		atomic.AddInt64(&Debug.GrantBytes, limit-s.sentNext)
 	}
 	for s.sentNext < limit {
 		end := min64(s.sentNext+netsim.MSS, limit)
@@ -226,7 +229,7 @@ type rxFlow struct {
 // arrival rate instead of blasting line-rate resend bursts.
 func (rx *rxFlow) grantSome(prio int8) {
 	if seq, n := rx.nextHolePacket(); n > 0 {
-		Debug.HoleReqs++
+		atomic.AddInt64(&Debug.HoleReqs, 1)
 		rx.reqd.Add(seq, seq+n)
 		g := netsim.CtrlPacket(netsim.Grant, rx.f.ID, rx.f.Dst.ID(), rx.f.Src.ID(), 0)
 		g.Meta = &grantInfo{UpTo: rx.granted, Prio: prio, ResendSeq: seq, ResendLen: n}
@@ -304,7 +307,7 @@ func (rx *rxFlow) armRetry() {
 		// Forget past requests — whatever is still missing after an RTO
 		// was lost again — and kick recovery with one packet.
 		rx.reqd = transport.IntervalSet{}
-		Debug.RetryReqs++
+		atomic.AddInt64(&Debug.RetryReqs, 1)
 		miss := rx.r.FirstMissing()
 		end := min64(miss+netsim.MSS, rx.f.Size)
 		rx.reqd.Add(miss, end)

@@ -25,6 +25,8 @@
 package ppt
 
 import (
+	"sync/atomic"
+
 	"ppt/internal/netsim"
 	"ppt/internal/sim"
 	"ppt/internal/transport"
@@ -65,6 +67,12 @@ type Config struct {
 	// loop for identified-large flows (ablation studies only).
 	NoDelayLCPForLarge bool
 
+	// Debug, when set, receives this run's dual-loop diagnostic
+	// counters instead of the package-level Debug variable. Experiments
+	// that run many simulations concurrently must supply per-run
+	// counters (or tolerate the shared global aggregating across runs).
+	Debug *DebugCounters
+
 	// OnFlowState, when set, is invoked on every per-window α update
 	// with a snapshot of the dual-loop state — the instrumentation
 	// behind the Fig 5-style dynamics traces.
@@ -95,12 +103,58 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Debug counters (reset per process; used by diagnostic harnesses).
-var Debug struct {
+// DebugCounters aggregates the dual-loop diagnostics a run produces:
+// how LCP packets were emitted (paced vs ACK-clocked), why loops opened
+// (case 1 vs case 2), and the fresh/duplicate byte split per loop. All
+// increments are atomic, so a single counter set may be shared by
+// simulations running on different goroutines without tearing.
+type DebugCounters struct {
 	PacedPkts, ClockedPkts     int64
 	Case1Opens, Case2Opens     int64
 	DupLowBytes, NewLowBytes   int64
 	DupHighBytes, NewHighBytes int64
+}
+
+func (d *DebugCounters) inc(f *int64)          { atomic.AddInt64(f, 1) }
+func (d *DebugCounters) add(f *int64, n int64) { atomic.AddInt64(f, n) }
+
+// Snapshot returns a consistent copy of the counters.
+func (d *DebugCounters) Snapshot() DebugCounters {
+	return DebugCounters{
+		PacedPkts:    atomic.LoadInt64(&d.PacedPkts),
+		ClockedPkts:  atomic.LoadInt64(&d.ClockedPkts),
+		Case1Opens:   atomic.LoadInt64(&d.Case1Opens),
+		Case2Opens:   atomic.LoadInt64(&d.Case2Opens),
+		DupLowBytes:  atomic.LoadInt64(&d.DupLowBytes),
+		NewLowBytes:  atomic.LoadInt64(&d.NewLowBytes),
+		DupHighBytes: atomic.LoadInt64(&d.DupHighBytes),
+		NewHighBytes: atomic.LoadInt64(&d.NewHighBytes),
+	}
+}
+
+// Reset zeroes the counters.
+func (d *DebugCounters) Reset() {
+	atomic.StoreInt64(&d.PacedPkts, 0)
+	atomic.StoreInt64(&d.ClockedPkts, 0)
+	atomic.StoreInt64(&d.Case1Opens, 0)
+	atomic.StoreInt64(&d.Case2Opens, 0)
+	atomic.StoreInt64(&d.DupLowBytes, 0)
+	atomic.StoreInt64(&d.NewLowBytes, 0)
+	atomic.StoreInt64(&d.DupHighBytes, 0)
+	atomic.StoreInt64(&d.NewHighBytes, 0)
+}
+
+// Debug is the process-wide compatibility view of the counters: runs
+// that do not supply Config.Debug accumulate here (cmd/ppttrace and the
+// diagnostic harnesses read it after a single serial run).
+var Debug DebugCounters
+
+// debugSink resolves where a run's counters go.
+func (c Config) debugSink() *DebugCounters {
+	if c.Debug != nil {
+		return c.Debug
+	}
+	return &Debug
 }
 
 // Proto is the PPT protocol factory.
@@ -163,12 +217,13 @@ type sender struct {
 	env *transport.Env
 	f   *transport.Flow
 	cfg Config
+	dbg *DebugCounters
 	hcp *dctcp.Sender
 	lcp *lcpLoop
 }
 
 func newSender(env *transport.Env, f *transport.Flow, cfg Config) *sender {
-	s := &sender{env: env, f: f, cfg: cfg}
+	s := &sender{env: env, f: f, cfg: cfg, dbg: cfg.debugSink()}
 	dcfg := cfg.DCTCP
 	dcfg.Prio = func(sent int64) int8 { return hcpPrio(cfg, f, sent) }
 	s.hcp = dctcp.NewSender(env, f, dcfg)
@@ -277,7 +332,7 @@ func (l *lcpLoop) onFlowStart() {
 		if l.s.f.Done() {
 			return
 		}
-		Debug.Case1Opens++
+		l.s.dbg.inc(&l.s.dbg.Case1Opens)
 		i := int64(l.s.env.BDP()) - l.s.hcp.C.InitCwnd
 		l.open(i, false)
 	}
@@ -313,7 +368,7 @@ func (l *lcpLoop) onAlpha(alpha float64) {
 		return
 	}
 	// I = (1/2 − α_min) · W_max  (Equation 2).
-	Debug.Case2Opens++
+	l.s.dbg.inc(&l.s.dbg.Case2Opens)
 	l.open(int64((0.5-alpha)*l.s.hcp.Wmax), true)
 }
 
@@ -400,7 +455,7 @@ func (l *lcpLoop) paceOne() {
 		l.pacing = false
 		return
 	}
-	Debug.PacedPkts++
+	l.s.dbg.inc(&l.s.dbg.PacedPkts)
 	l.budget -= netsim.MSS
 	l.s.env.Sched().After(l.paceGap, l.paceOne)
 }
@@ -468,7 +523,7 @@ func (l *lcpLoop) onLowAck(pkt *netsim.Packet) {
 		return // congestion: do not clock out a new opportunistic packet
 	}
 	if l.sendOpportunistic() {
-		Debug.ClockedPkts++
+		l.s.dbg.inc(&l.s.dbg.ClockedPkts)
 	}
 }
 
@@ -485,6 +540,12 @@ func (l *lcpLoop) terminate() {
 	l.active = false
 	l.pacing = false
 	l.budget = 0
+	// The loop is dead: whatever it still counted as in flight is either
+	// lost or stuck behind higher classes, and the receiver's quiet-flush
+	// has had 2 RTTs to report stragglers. Carrying the stale backlog
+	// forward would let the inflight gate in open() veto every future
+	// loop of this flow.
+	l.inflight = 0
 }
 
 // NewDualLoopReceiver exposes the PPT receiver for reuse by transports
@@ -501,17 +562,24 @@ type receiver struct {
 	env *transport.Env
 	f   *transport.Flow
 	cfg Config
+	dbg *DebugCounters
 	r   *transport.Reassembly
 
 	// pending buffers the last unacknowledged opportunistic arrival.
-	pendingSeq int64
-	pendingLen int32
-	pendingCE  bool
-	hasPending bool
+	pendingSeq  int64
+	pendingLen  int32
+	pendingCE   bool
+	pendingTS   sim.Time
+	pendingPrio int8
+	hasPending  bool
+	// flushTimer acknowledges a pending arrival alone once the loop has
+	// gone quiet: without it, an odd opportunistic packet count strands
+	// the last arrival forever and the sender's inflight never drains.
+	flushTimer *sim.Timer
 }
 
 func newReceiver(env *transport.Env, f *transport.Flow, cfg Config) *receiver {
-	return &receiver{env: env, f: f, cfg: cfg, r: transport.NewReassembly(f.Size)}
+	return &receiver{env: env, f: f, cfg: cfg, dbg: cfg.debugSink(), r: transport.NewReassembly(f.Size)}
 }
 
 // Handle implements netsim.Endpoint.
@@ -521,13 +589,13 @@ func (rc *receiver) Handle(pkt *netsim.Packet) {
 	}
 	added := rc.r.Add(pkt.Seq, pkt.PayloadLen)
 	if pkt.LowLoop {
-		Debug.NewLowBytes += added
-		Debug.DupLowBytes += int64(pkt.PayloadLen) - added
+		rc.dbg.add(&rc.dbg.NewLowBytes, added)
+		rc.dbg.add(&rc.dbg.DupLowBytes, int64(pkt.PayloadLen)-added)
 		rc.env.Eff.UsefulLow += added
 		rc.onOpportunistic(pkt)
 	} else {
-		Debug.NewHighBytes += added
-		Debug.DupHighBytes += int64(pkt.PayloadLen) - added
+		rc.dbg.add(&rc.dbg.NewHighBytes, added)
+		rc.dbg.add(&rc.dbg.DupHighBytes, int64(pkt.PayloadLen)-added)
 		rc.ackHigh(pkt)
 	}
 	if rc.r.Complete() {
@@ -544,12 +612,24 @@ func (rc *receiver) ackHigh(pkt *netsim.Packet) {
 }
 
 // onOpportunistic coalesces two opportunistic arrivals per low-priority
-// ACK (the 2:1 EWD clock of §3.2).
+// ACK (the 2:1 EWD clock of §3.2). A lone arrival is held for its pair,
+// but only until the quiet-flush timer fires: a loop that sent an odd
+// number of packets would otherwise strand its last packet unacked and
+// the sender's inflight would never drain.
 func (rc *receiver) onOpportunistic(pkt *netsim.Packet) {
 	if !rc.hasPending {
 		rc.pendingSeq, rc.pendingLen, rc.pendingCE = pkt.Seq, pkt.PayloadLen, pkt.CE
+		rc.pendingTS, rc.pendingPrio = pkt.SentAt, pkt.Prio
 		rc.hasPending = true
+		if rc.flushTimer != nil {
+			rc.flushTimer.Stop()
+		}
+		rc.flushTimer = rc.env.Sched().After(2*rc.env.BaseRTT(), rc.flushPending)
 		return
+	}
+	if rc.flushTimer != nil {
+		rc.flushTimer.Stop()
+		rc.flushTimer = nil
 	}
 	meta := &transport.AckMeta{
 		LowSeqs:      [2]int64{rc.pendingSeq, pkt.Seq},
@@ -563,6 +643,31 @@ func (rc *receiver) onOpportunistic(pkt *netsim.Packet) {
 	ack.Seq = rc.r.CumAck()
 	ack.ECE = pkt.CE || rc.pendingCE
 	ack.EchoTS = pkt.SentAt
+	ack.Meta = meta
+	rc.f.Dst.Send(ack)
+}
+
+// flushPending acknowledges a buffered opportunistic arrival on its own
+// once the loop has gone quiet for 2 base RTTs (no pair showed up). The
+// single-packet ACK lets the sender retire the inflight bytes so the
+// `inflight >= i/2` gate cannot veto future loop opens.
+func (rc *receiver) flushPending() {
+	if !rc.hasPending || rc.f.Done() {
+		return
+	}
+	meta := &transport.AckMeta{
+		LowSeqs:      [2]int64{rc.pendingSeq, 0},
+		LowLens:      [2]int32{rc.pendingLen, 0},
+		LowN:         1,
+		TailFrontier: rc.r.TailFrontier(),
+	}
+	rc.hasPending = false
+	rc.flushTimer = nil
+	ack := netsim.CtrlPacket(netsim.Ack, rc.f.ID, rc.f.Dst.ID(), rc.f.Src.ID(), rc.pendingPrio)
+	ack.LowLoop = true
+	ack.Seq = rc.r.CumAck()
+	ack.ECE = rc.pendingCE
+	ack.EchoTS = rc.pendingTS
 	ack.Meta = meta
 	rc.f.Dst.Send(ack)
 }

@@ -348,7 +348,8 @@ func TestReceiverCoalescesTwoOpportunisticArrivals(t *testing.T) {
 		return p
 	}
 	rc.Handle(mk(900_000, true))
-	env.Sched().Run()
+	// Within the quiet-flush window the arrival is held for its pair.
+	env.Sched().RunUntil(env.BaseRTT())
 	if lowAcks != 0 {
 		t.Fatal("low ACK after a single opportunistic packet")
 	}
@@ -361,6 +362,104 @@ func TestReceiverCoalescesTwoOpportunisticArrivals(t *testing.T) {
 	env.Sched().Run()
 	if highAcks != 1 {
 		t.Fatalf("highAcks = %d, want per-packet ACK for HCP data", highAcks)
+	}
+}
+
+func TestReceiverFlushesStrandedArrival(t *testing.T) {
+	// Regression for the stranded-odd-packet bug: a lone opportunistic
+	// arrival whose pair never shows up must still be acknowledged (as a
+	// single-packet low ACK) once the loop goes quiet, or the sender's
+	// inflight never drains and the i/2 gate vetoes every future loop.
+	env := newEnv()
+	f := &transport.Flow{ID: 11, Src: env.Net.Hosts[0], Dst: env.Net.Hosts[1],
+		Size: 1_000_000, FirstCall: 1000, Start: 0}
+	var lowMetas []*transport.AckMeta
+	f.Src.Bind(f.ID, false, epFunc(func(p *netsim.Packet) {
+		if p.LowLoop {
+			meta, _ := p.Meta.(*transport.AckMeta)
+			lowMetas = append(lowMetas, meta)
+		}
+	}))
+	rc := newReceiver(env, f, Config{}.withDefaults())
+	f.Dst.Bind(f.ID, true, rc)
+	p := netsim.DataPacket(f.ID, f.Src.ID(), f.Dst.ID(), 900_000, netsim.MSS, 4)
+	p.LowLoop = true
+	rc.Handle(p)
+	env.Sched().Run() // drains the 2×BaseRTT flush timer
+	if len(lowMetas) != 1 {
+		t.Fatalf("lowAcks = %d, want exactly one quiet-flush ACK", len(lowMetas))
+	}
+	meta := lowMetas[0]
+	if meta == nil || meta.LowN != 1 {
+		t.Fatalf("flush ACK meta = %+v, want LowN == 1", meta)
+	}
+	if meta.LowSeqs[0] != 900_000 || meta.LowLens[0] != netsim.MSS {
+		t.Fatalf("flush ACK covers (%d,%d), want (900000,%d)",
+			meta.LowSeqs[0], meta.LowLens[0], netsim.MSS)
+	}
+	// The flush is one-shot: no second ACK for the same arrival.
+	env.Sched().Run()
+	if len(lowMetas) != 1 {
+		t.Fatalf("lowAcks = %d after drain, flush re-fired", len(lowMetas))
+	}
+}
+
+func TestTerminateResetsInflight(t *testing.T) {
+	// Regression: terminate() must clear the loop's inflight so the
+	// `inflight >= i/2` gate cannot carry a stale backlog into the next
+	// loop open and veto it.
+	env := newEnv()
+	f := &transport.Flow{ID: 12, Src: env.Net.Hosts[0], Dst: env.Net.Hosts[1],
+		Size: 10_000_000, FirstCall: 1000}
+	s := newSender(env, f, Config{}.withDefaults())
+	f.Src.Bind(f.ID, false, s)
+	s.launch()
+	if !s.lcp.active {
+		t.Fatal("case-1 loop did not open")
+	}
+	if s.lcp.inflight == 0 {
+		t.Fatal("loop opened but inflight == 0; test premise broken")
+	}
+	s.lcp.terminate()
+	if s.lcp.inflight != 0 {
+		t.Fatalf("inflight = %d after terminate, want 0", s.lcp.inflight)
+	}
+	// With the backlog cleared, a case-2 trigger must be able to reopen.
+	s.hcp.ExitedSS = true
+	s.hcp.Wmax = float64(50 * netsim.MSS)
+	s.lcp.onAlpha(0.30)
+	s.lcp.onAlpha(0.10)
+	if !s.lcp.active {
+		t.Fatal("case-2 reopen suppressed after terminate")
+	}
+}
+
+func TestOddOpportunisticCountDrainsInflight(t *testing.T) {
+	// End-to-end over the fabric: a loop that emits exactly one (odd)
+	// opportunistic packet must get that packet acknowledged — the
+	// receiver's quiet flush — so the sender's skip set and inflight
+	// reflect the delivery instead of stranding it forever.
+	env := newEnv()
+	f := &transport.Flow{ID: 14, Src: env.Net.Hosts[0], Dst: env.Net.Hosts[1],
+		Size: 100_000, FirstCall: 1000}
+	s := newSender(env, f, Config{}.withDefaults())
+	f.Src.Bind(f.ID, false, s)
+	rc := newReceiver(env, f, Config{}.withDefaults())
+	f.Dst.Bind(f.ID, true, rc)
+	// One-packet loop: the EWD pair never forms.
+	s.lcp.open(netsim.MSS, false)
+	if !s.lcp.active || s.lcp.inflight != netsim.MSS {
+		t.Fatalf("loop active=%v inflight=%d after 1-packet open", s.lcp.active, s.lcp.inflight)
+	}
+	env.Sched().Run()
+	if s.lcp.inflight != 0 {
+		t.Fatalf("inflight = %d after drain, want 0", s.lcp.inflight)
+	}
+	// The flush ACK (not just terminate's reset) must have delivered the
+	// packet into the sender's skip set.
+	seq := f.Size - netsim.MSS
+	if !s.hcp.Skip.Contains(seq, f.Size) {
+		t.Fatalf("skip set missing flushed range [%d,%d): stranded packet never acked", seq, f.Size)
 	}
 }
 

@@ -175,7 +175,15 @@ func Run(env *Env, proto Protocol, flows []SimpleFlow, cfg RunConfig) stats.Summ
 	for _, h := range env.Net.Hosts {
 		env.Eff.SentPayload += h.NIC().Stats.TxDataBytes
 	}
-	return env.Collector.Summarize()
+	sum := env.Collector.Summarize()
+	if env.remaining > 0 {
+		// MaxEvents or Deadline tripped before every flow finished: the
+		// summary covers only the flows that made it, which silently biases
+		// FCT statistics toward the fast ones. Flag it so callers can warn.
+		sum.Truncated = true
+		sum.Unfinished = env.remaining
+	}
+	return sum
 }
 
 // Reassembly is the receiver-side byte accounting shared by every

@@ -1,0 +1,57 @@
+package transport_test
+
+import (
+	"testing"
+
+	"ppt/internal/netsim"
+	"ppt/internal/sim"
+	"ppt/internal/topo"
+	"ppt/internal/transport"
+	"ppt/internal/transport/dctcp"
+)
+
+func newTruncEnv() *transport.Env {
+	net := topo.Star(4, topo.Config{
+		HostRate:     10 * netsim.Gbps,
+		LinkDelay:    5 * sim.Microsecond,
+		ECNHighK:     30_000,
+		ECNLowK:      24_000,
+		SharedBuffer: 1 << 20,
+	})
+	return transport.NewEnv(net)
+}
+
+func TestRunFlagsDeadlineTruncation(t *testing.T) {
+	env := newTruncEnv()
+	// 2MB at 10G needs ~1.6ms; a 100µs deadline cannot finish it.
+	sum := transport.Run(env, dctcp.Proto{}, []transport.SimpleFlow{
+		{ID: 1, Src: 0, Dst: 1, Size: 2_000_000},
+	}, transport.RunConfig{Deadline: 100 * sim.Microsecond})
+	if !sum.Truncated || sum.Unfinished != 1 {
+		t.Fatalf("summary = %+v, want Truncated with 1 unfinished flow", sum)
+	}
+}
+
+func TestRunFlagsMaxEventsTruncation(t *testing.T) {
+	env := newTruncEnv()
+	sum := transport.Run(env, dctcp.Proto{}, []transport.SimpleFlow{
+		{ID: 1, Src: 0, Dst: 1, Size: 2_000_000},
+		{ID: 2, Src: 2, Dst: 3, Size: 2_000_000},
+	}, transport.RunConfig{MaxEvents: 50})
+	if !sum.Truncated || sum.Unfinished != 2 {
+		t.Fatalf("summary = %+v, want Truncated with 2 unfinished flows", sum)
+	}
+}
+
+func TestRunCompleteNotTruncated(t *testing.T) {
+	env := newTruncEnv()
+	sum := transport.Run(env, dctcp.Proto{}, []transport.SimpleFlow{
+		{ID: 1, Src: 0, Dst: 1, Size: 100_000},
+	}, transport.RunConfig{})
+	if sum.Truncated || sum.Unfinished != 0 {
+		t.Fatalf("summary = %+v, want clean completion", sum)
+	}
+	if sum.Flows != 1 {
+		t.Fatalf("flows = %d", sum.Flows)
+	}
+}
