@@ -19,17 +19,24 @@ import (
 const benchFlows = 120
 
 // runExp executes one registered experiment per iteration and reports
-// each row's overall average FCT (µs) as a benchmark metric.
+// each row's overall average FCT (µs) as a benchmark metric, plus the
+// engine throughput in millions of scheduler events per wall-clock
+// second (summed across all simulation cells).
 func runExp(b *testing.B, id string, flows int) {
 	b.Helper()
 	b.ReportAllocs()
 	var last *exp.Result
+	var events uint64
 	for i := 0; i < b.N; i++ {
 		res, err := exp.RunByID(id, exp.Options{Flows: flows, Seed: int64(i + 1)})
 		if err != nil {
 			b.Fatal(err)
 		}
 		last = res
+		events += res.Events
+	}
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(events)/secs/1e6, "Mevents/s")
 	}
 	for _, row := range last.Rows {
 		if row.Sum.Flows > 0 {

@@ -1,0 +1,89 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"ppt/internal/exp"
+)
+
+// benchFlows is the per-experiment workload size used by -benchjson:
+// the same smoke scale as the repo's bench_test.go figure benchmarks,
+// so the recorded trajectory stays comparable across engine changes.
+const benchFlows = 60
+
+// benchEntry is one experiment's measurement in a BENCH_*.json file.
+type benchEntry struct {
+	Name         string  // experiment id
+	NsPerOp      int64   // wall-clock ns for one full experiment run
+	AllocsPerOp  uint64  // heap allocations during the run
+	BytesPerOp   uint64  // heap bytes allocated during the run
+	Events       uint64  // scheduler events executed across all cells
+	EventsPerSec float64 // Events / wall-clock seconds
+}
+
+// benchFile is the schema of a checked-in BENCH_<date>.json: machine
+// identification plus one entry per registered experiment, recorded so
+// the repo's perf trajectory is diffable across PRs.
+type benchFile struct {
+	Date      string
+	GoVersion string
+	GOOS      string
+	GOARCH    string
+	NumCPU    int
+	Flows     int // workload size every entry ran with
+	Entries   []benchEntry
+}
+
+// writeBenchJSON benchmarks every registered experiment once (at smoke
+// scale, serial cells so the measurement is of the engine rather than
+// the worker pool) and writes the results to path.
+func writeBenchJSON(path string, opts exp.Options) error {
+	flows := opts.Flows
+	if flows == 0 {
+		flows = benchFlows
+	}
+	out := benchFile{
+		Date:      time.Now().Format("2006-01-02"),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Flows:     flows,
+	}
+	for _, e := range exp.List() {
+		o := exp.Options{Flows: flows, Seed: opts.Seed, Parallel: 1}
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		res, err := exp.RunByID(e.ID, o)
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&after)
+		if err != nil {
+			return fmt.Errorf("bench %s: %w", e.ID, err)
+		}
+		entry := benchEntry{
+			Name:        e.ID,
+			NsPerOp:     elapsed.Nanoseconds(),
+			AllocsPerOp: after.Mallocs - before.Mallocs,
+			BytesPerOp:  after.TotalAlloc - before.TotalAlloc,
+			Events:      res.Events,
+		}
+		if s := elapsed.Seconds(); s > 0 {
+			entry.EventsPerSec = float64(res.Events) / s
+		}
+		out.Entries = append(out.Entries, entry)
+		fmt.Fprintf(os.Stderr, "%-8s %12d ns/op %10d allocs/op %8.2f Mevents/s\n",
+			e.ID, entry.NsPerOp, entry.AllocsPerOp, entry.EventsPerSec/1e6)
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	return os.WriteFile(path, data, 0o644)
+}

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"ppt/internal/sim"
 	"ppt/internal/stats"
@@ -41,6 +42,10 @@ type Options struct {
 
 	// errs accumulates failed cells; RunByID surfaces them as notes.
 	errs *errSink
+	// events accumulates scheduler events executed across all cells
+	// (atomically — cells run on worker goroutines); RunByID surfaces the
+	// total as Result.Events for throughput (events/sec) reporting.
+	events *uint64
 }
 
 func (o Options) withDefaults(defFlows int) Options {
@@ -55,6 +60,9 @@ func (o Options) withDefaults(defFlows int) Options {
 	}
 	if o.errs == nil {
 		o.errs = &errSink{}
+	}
+	if o.events == nil {
+		o.events = new(uint64)
 	}
 	return o
 }
@@ -86,6 +94,12 @@ type Result struct {
 	Title string
 	Rows  []Row
 	Notes []string
+
+	// Events is the total number of scheduler events executed across
+	// every simulation cell of this run — the engine-throughput
+	// denominator for events/sec benchmarking. Deliberately excluded
+	// from Render/CSV so golden outputs stay engine-agnostic.
+	Events uint64 `json:",omitempty"`
 }
 
 // CSV renders the result rows as comma-separated values (times in
@@ -254,5 +268,6 @@ func RunByID(id string, o Options) (*Result, error) {
 	for _, msg := range o.errs.drain() {
 		res.Notes = append(res.Notes, "cell failed: "+msg)
 	}
+	res.Events = atomic.LoadUint64(o.events)
 	return res, nil
 }

@@ -1,0 +1,83 @@
+package exp
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// Regenerate with: go test ./internal/exp -run TestGolden -update-golden
+//
+// Do NOT regenerate casually: these files pin the exact simulated
+// outcomes (tables and CSV) of a representative experiment slice. Any
+// engine or datapath optimization must keep them byte-identical; only a
+// deliberate, reviewed behaviour change may refresh them.
+var updateGolden = flag.Bool("update-golden", false, "rewrite the golden experiment outputs")
+
+// goldenCases covers every transport and every special port behaviour:
+// fig8 (testbed star, shared buffer, dynamic thresholds; homa/rc3/dctcp/
+// ppt with repeats), fig12 (leaf-spine ECMP; ndp trimming + aeolus
+// selective drop), fig14 (delay-based swift pair), extb (HPCC INT
+// telemetry pair), reactive (tcp10/halfback/pias + hpcc INT), proactive
+// (expresspass + line-rate bursts).
+var goldenCases = []struct {
+	id   string
+	opts Options
+}{
+	{"fig8", Options{Flows: 20, Seed: 3, Repeats: 2}},
+	{"fig12", Options{Flows: 24, Seed: 1}},
+	{"fig14", Options{Flows: 24, Seed: 2}},
+	{"extb", Options{Flows: 20, Seed: 1}},
+	{"reactive", Options{Flows: 20, Seed: 5}},
+	{"proactive", Options{Flows: 20, Seed: 5}},
+}
+
+// TestGoldenOutputs is the engine-equivalence guarantee: optimizations
+// to the scheduler, packet pooling, or queueing must not change a single
+// simulated outcome. It renders each case's table and CSV — serially and
+// on the 4-wide worker pool — and requires both to match the checked-in
+// golden output byte for byte.
+func TestGoldenOutputs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs several experiments")
+	}
+	for _, tc := range goldenCases {
+		tc := tc
+		t.Run(tc.id, func(t *testing.T) {
+			t.Parallel()
+			render := func(parallel int) string {
+				o := tc.opts
+				o.Parallel = parallel
+				res, err := RunByID(tc.id, o)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res.Render() + "\n--- csv ---\n" + res.CSV()
+			}
+			serial := render(1)
+			par := render(4)
+			if serial != par {
+				t.Fatalf("%s: serial and parallel outputs differ:\n--- serial ---\n%s\n--- parallel ---\n%s", tc.id, serial, par)
+			}
+			path := filepath.Join("testdata", "golden_"+tc.id+".txt")
+			if *updateGolden {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(serial), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (generate with -update-golden): %v", err)
+			}
+			if serial != string(want) {
+				t.Errorf("%s: output differs from golden %s.\nThe engine changed a simulated outcome.\n--- got ---\n%s\n--- want ---\n%s",
+					tc.id, path, serial, string(want))
+			}
+		})
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"os"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"ppt/internal/stats"
 	"ppt/internal/transport"
@@ -87,7 +88,13 @@ func (p *pool) submit(label string, fn func()) *poolJob {
 // valid after run().
 func (p *pool) submitSpec(label string, spec runSpec) *cellOut {
 	out := &cellOut{}
-	out.job = p.submit(label, func() { out.sum, out.env = execute(spec) })
+	events := p.opts.events
+	out.job = p.submit(label, func() {
+		out.sum, out.env = execute(spec)
+		if events != nil {
+			atomic.AddUint64(events, out.env.Net.Sched.Executed)
+		}
+	})
 	return out
 }
 

@@ -28,6 +28,7 @@ type Host struct {
 	name  string
 	sched *sim.Scheduler
 	nic   *Port
+	pool  *PacketPool
 
 	endpoints map[endpointKey]Endpoint
 
@@ -64,6 +65,29 @@ func (h *Host) Sched() *sim.Scheduler { return h.sched }
 // SetNIC installs the egress port toward the first-hop switch.
 func (h *Host) SetNIC(p *Port) { h.nic = p }
 
+// SetPool attaches the run's packet pool: packets built with Data/Ctrl
+// come from it, and delivered packets return to it after their endpoint
+// handles them. Optional — without a pool the host plain-allocates.
+func (h *Host) SetPool(pp *PacketPool) { h.pool = pp }
+
+// Pool returns the host's packet pool (possibly nil; PacketPool methods
+// are nil-safe).
+func (h *Host) Pool() *PacketPool { return h.pool }
+
+// Data builds a payload-carrying packet from this host, drawn from its
+// pool. The endpoint-facing contract: once the packet is Sent it belongs
+// to the network, which recycles it at a sink — the builder must not
+// touch it again.
+func (h *Host) Data(flow uint32, dst int32, seq int64, payload int32, prio int8) *Packet {
+	return h.pool.Data(flow, h.id, dst, seq, payload, prio)
+}
+
+// Ctrl builds a header-only packet from this host, drawn from its pool.
+// Same ownership contract as Data.
+func (h *Host) Ctrl(kind Kind, flow uint32, dst int32, prio int8) *Packet {
+	return h.pool.Ctrl(kind, flow, h.id, dst, prio)
+}
+
 // NIC returns the host's egress port.
 func (h *Host) NIC() *Port { return h.nic }
 
@@ -96,6 +120,11 @@ func (h *Host) Send(pkt *Packet) {
 // Receive implements Device: demux to the flow endpoint. Packets for
 // flows that have already completed and unbound are dropped silently —
 // stragglers (late retransmissions, duplicate ACKs) are expected.
+//
+// Delivery is a packet sink: the packet is recycled as soon as Handle
+// returns. Endpoints therefore must not retain pkt (or pkt.INT, unless
+// they take ownership by nilling the field) beyond the Handle call —
+// they copy out what they need, which every transport here already does.
 func (h *Host) Receive(pkt *Packet) {
 	if pkt.Dst != h.id {
 		panic(fmt.Sprintf("netsim: host %s got packet for %d", h.name, pkt.Dst))
@@ -111,7 +140,9 @@ func (h *Host) Receive(pkt *Packet) {
 				h.OrphansLow += int64(pkt.PayloadLen)
 			}
 		}
+		h.pool.Free(pkt)
 		return
 	}
 	ep.Handle(pkt)
+	h.pool.Free(pkt)
 }

@@ -104,6 +104,10 @@ type Packet struct {
 
 	INT  []INTHop // telemetry, nil unless the sender enabled it
 	Meta any      // transport-specific payload
+
+	// inPool guards against double-free: set while the packet sits in a
+	// PacketPool freelist.
+	inPool bool
 }
 
 func (p *Packet) String() string {

@@ -124,18 +124,30 @@ type PortStats struct {
 // Port is one egress: eight FIFO queues drained in strict priority onto a
 // wire of fixed rate and propagation delay.
 type Port struct {
-	name   string
-	sched  *sim.Scheduler
-	cfg    PortConfig
-	peer   Device
-	pool   *BufferPool
-	queues [NumPriorities][]*Packet
+	name    string
+	sched   *sim.Scheduler
+	cfg     PortConfig
+	peer    Device
+	pool    *BufferPool
+	pktPool *PacketPool
+	queues  [NumPriorities]pktRing
 
 	bytesQueued [NumPriorities]int64
 	totalQueued int64
 	lowQueued   int64
 	busy        bool
 	lossState   uint64
+
+	// The transmit and delivery callbacks are bound once at construction
+	// so the per-packet hot path schedules them without allocating a
+	// closure. txPkt is the packet currently serializing (at most one);
+	// wire holds packets propagating toward the peer — the delay is one
+	// constant per port, so deliveries are strictly FIFO and the next
+	// onDelivered call always takes the head.
+	txPkt  *Packet
+	onTx   func()
+	wire   pktRing
+	onRecv func()
 
 	Stats PortStats
 }
@@ -151,6 +163,8 @@ func NewPort(name string, s *sim.Scheduler, cfg PortConfig, peer Device, pool *B
 	}
 	p := &Port{name: name, sched: s, cfg: cfg, peer: peer, pool: pool}
 	p.lossState = cfg.LossSeed*2654435761 + 0x9e3779b97f4a7c15
+	p.onTx = p.finishTx
+	p.onRecv = p.deliver
 	return p
 }
 
@@ -159,6 +173,11 @@ func (p *Port) Name() string { return p.name }
 
 // Config returns the port's configuration.
 func (p *Port) Config() PortConfig { return p.cfg }
+
+// SetPacketPool attaches the run's packet pool so dropped packets are
+// recycled at the sink instead of leaking to the garbage collector.
+// Optional: without a pool, drops simply become garbage.
+func (p *Port) SetPacketPool(pp *PacketPool) { p.pktPool = pp }
 
 // Peer returns the device at the far end of the wire.
 func (p *Port) Peer() Device { return p.peer }
@@ -196,6 +215,7 @@ func (p *Port) Enqueue(pkt *Packet) {
 		// Drops/DropsLow via drop() would overstate congestion loss under
 		// fault injection.
 		p.Stats.RandomDrops++
+		p.pktPool.Free(pkt)
 		return
 	}
 	// Header-sized control packets (ACKs, grants, pulls, NACKs) are
@@ -314,7 +334,7 @@ func (p *Port) mark(pkt *Packet) {
 
 func (p *Port) push(pkt *Packet) {
 	prio := pkt.Prio
-	p.queues[prio] = append(p.queues[prio], pkt)
+	p.queues[prio].push(pkt)
 	n := int64(pkt.WireLen)
 	p.bytesQueued[prio] += n
 	p.totalQueued += n
@@ -324,11 +344,13 @@ func (p *Port) push(pkt *Packet) {
 	p.kick()
 }
 
+// drop is a packet sink: the packet is dead and recycled here.
 func (p *Port) drop(pkt *Packet) {
 	p.Stats.Drops++
 	if p.isLow(pkt.Prio) {
 		p.Stats.DropsLow++
 	}
+	p.pktPool.Free(pkt)
 }
 
 // kick starts the transmitter if it is idle and a packet is waiting.
@@ -341,11 +363,14 @@ func (p *Port) kick() {
 		return
 	}
 	p.busy = true
+	p.txPkt = pkt
 	txTime := p.cfg.Rate.TxTime(int(pkt.WireLen))
-	p.sched.After(txTime, func() { p.finishTx(pkt) })
+	p.sched.After(txTime, p.onTx)
 }
 
-func (p *Port) finishTx(pkt *Packet) {
+func (p *Port) finishTx() {
+	pkt := p.txPkt
+	p.txPkt = nil
 	n := int64(pkt.WireLen)
 	if p.pool != nil {
 		p.pool.release(n)
@@ -366,26 +391,25 @@ func (p *Port) finishTx(pkt *Packet) {
 			Rate:    p.cfg.Rate,
 		})
 	}
-	peer := p.peer
-	p.sched.After(p.cfg.Delay, func() { peer.Receive(pkt) })
+	p.wire.push(pkt)
+	p.sched.After(p.cfg.Delay, p.onRecv)
 	p.busy = false
 	p.kick()
+}
+
+// deliver hands the oldest in-flight packet to the peer.
+func (p *Port) deliver() {
+	p.peer.Receive(p.wire.pop())
 }
 
 // pop removes and returns the head of the highest-priority nonempty
 // queue, or nil.
 func (p *Port) pop() *Packet {
 	for prio := 0; prio < NumPriorities; prio++ {
-		q := p.queues[prio]
-		if len(q) == 0 {
+		if p.queues[prio].len() == 0 {
 			continue
 		}
-		pkt := q[0]
-		q[0] = nil
-		p.queues[prio] = q[1:]
-		if len(p.queues[prio]) == 0 {
-			p.queues[prio] = nil // let the backing array go
-		}
+		pkt := p.queues[prio].pop()
 		n := int64(pkt.WireLen)
 		p.bytesQueued[prio] -= n
 		p.totalQueued -= n

@@ -1,0 +1,51 @@
+package netsim
+
+// ringInitCap is the initial capacity of a priority queue's ring, chosen
+// so a port under ordinary congestion never regrows: at 64 packets of up
+// to MTU size a single ring covers ~97KB of backlog, beyond typical
+// per-class ECN thresholds. Must be a power of two.
+const ringInitCap = 64
+
+// pktRing is a FIFO ring buffer of packets — one per priority queue.
+// Unlike the previous append/re-slice scheme it never allocates in
+// steady state: slots are reused in place, and the backing array only
+// grows (doubling) when the instantaneous backlog exceeds every previous
+// peak. Capacity is kept a power of two so the index wrap is a mask.
+type pktRing struct {
+	buf  []*Packet
+	head int
+	n    int
+}
+
+// push appends pkt at the tail.
+func (r *pktRing) push(pkt *Packet) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	r.buf[(r.head+r.n)&(len(r.buf)-1)] = pkt
+	r.n++
+}
+
+// pop removes and returns the head packet. Call only when len() > 0.
+func (r *pktRing) pop() *Packet {
+	pkt := r.buf[r.head]
+	r.buf[r.head] = nil
+	r.head = (r.head + 1) & (len(r.buf) - 1)
+	r.n--
+	return pkt
+}
+
+// len reports the number of queued packets.
+func (r *pktRing) len() int { return r.n }
+
+func (r *pktRing) grow() {
+	newCap := ringInitCap
+	if len(r.buf) > 0 {
+		newCap = len(r.buf) * 2
+	}
+	nb := make([]*Packet, newCap)
+	for i := 0; i < r.n; i++ {
+		nb[i] = r.buf[(r.head+i)&(len(r.buf)-1)]
+	}
+	r.buf, r.head = nb, 0
+}

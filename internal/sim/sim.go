@@ -7,10 +7,17 @@
 // The engine is deliberately single-threaded: a simulation is a pure
 // function of its inputs, which makes experiments reproducible and lets
 // tests assert on exact event orderings.
+//
+// The hot path is allocation-free in steady state. Events live inline in
+// a slot array owned by the scheduler, ordered by a hand-rolled 4-ary
+// indexed min-heap of slot ids, and fired or cancelled slots are recycled
+// through a freelist. Timers are generation-stamped value handles, so a
+// stale handle to a reused slot can never cancel someone else's event.
+// Pop order is fully determined by the strict (time, seq) total order, so
+// the heap's internal shape never affects simulated outcomes.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 )
@@ -53,43 +60,18 @@ func (t Time) String() string {
 	}
 }
 
-// event is a scheduled callback. seq breaks ties so that events scheduled
-// earlier run earlier when their firing times are equal (FIFO semantics),
-// which downstream protocol code depends on for determinism.
+// event is a scheduled callback, stored inline in the scheduler's slot
+// array. seq breaks ties so that events scheduled earlier run earlier
+// when their firing times are equal (FIFO semantics), which downstream
+// protocol code depends on for determinism. gen distinguishes the slot's
+// current occupant from stale Timer handles; heapIdx is the slot's
+// position in the heap, or -1 while the slot is free.
 type event struct {
-	at    Time
-	seq   uint64
-	fn    func()
-	index int
-}
-
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	e := x.(*event)
-	e.index = len(*h)
-	*h = append(*h, e)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*h = old[:n-1]
-	return e
+	at      Time
+	seq     uint64
+	fn      func()
+	gen     uint32
+	heapIdx int32
 }
 
 // Scheduler owns the simulated clock and the pending-event queue.
@@ -97,7 +79,9 @@ func (h *eventHeap) Pop() any {
 type Scheduler struct {
 	now     Time
 	seq     uint64
-	events  eventHeap
+	events  []event // slot storage; index = Timer.slot
+	heap    []int32 // 4-ary min-heap of occupied slot ids
+	free    []int32 // LIFO freelist of vacant slot ids
 	stopped bool
 	// Executed counts events run so far; useful as a cheap progress and
 	// runaway-simulation guard in experiments.
@@ -114,52 +98,165 @@ func NewScheduler() *Scheduler {
 // Now reports the current simulated time.
 func (s *Scheduler) Now() Time { return s.now }
 
+// less orders slots by (time, seq); a strict total order, so pop order is
+// independent of heap shape.
+func (s *Scheduler) less(a, b int32) bool {
+	ea, eb := &s.events[a], &s.events[b]
+	if ea.at != eb.at {
+		return ea.at < eb.at
+	}
+	return ea.seq < eb.seq
+}
+
+// siftUp restores the heap property upward from position i.
+func (s *Scheduler) siftUp(i int) {
+	slot := s.heap[i]
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !s.less(slot, s.heap[parent]) {
+			break
+		}
+		s.heap[i] = s.heap[parent]
+		s.events[s.heap[i]].heapIdx = int32(i)
+		i = parent
+	}
+	s.heap[i] = slot
+	s.events[slot].heapIdx = int32(i)
+}
+
+// siftDown restores the heap property downward from position i.
+func (s *Scheduler) siftDown(i int) {
+	n := len(s.heap)
+	slot := s.heap[i]
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		best := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if s.less(s.heap[c], s.heap[best]) {
+				best = c
+			}
+		}
+		if !s.less(s.heap[best], slot) {
+			break
+		}
+		s.heap[i] = s.heap[best]
+		s.events[s.heap[i]].heapIdx = int32(i)
+		i = best
+	}
+	s.heap[i] = slot
+	s.events[slot].heapIdx = int32(i)
+}
+
+// removeAt takes the heap entry at position i out of the heap.
+func (s *Scheduler) removeAt(i int) {
+	n := len(s.heap) - 1
+	last := s.heap[n]
+	s.heap = s.heap[:n]
+	if i < n {
+		s.heap[i] = last
+		s.events[last].heapIdx = int32(i)
+		// The replacement may need to move either way; each call is a
+		// no-op when the property already holds in that direction.
+		s.siftDown(i)
+		s.siftUp(i)
+	}
+}
+
+// release retires a fired or cancelled slot: the generation bump
+// invalidates every outstanding Timer handle, and dropping fn releases
+// the closure and its captures immediately rather than pinning them
+// until the slot is reused.
+func (s *Scheduler) release(slot int32) {
+	e := &s.events[slot]
+	e.fn = nil
+	e.gen++
+	e.heapIdx = -1
+	s.free = append(s.free, slot)
+}
+
 // At schedules fn to run at absolute time t. Scheduling in the past is a
 // programming error and panics: silently reordering time would corrupt
 // every protocol invariant built above the engine.
-func (s *Scheduler) At(t Time, fn func()) *Timer {
+func (s *Scheduler) At(t Time, fn func()) Timer {
 	if t < s.now {
 		panic(fmt.Sprintf("sim: scheduling at %v before now %v", t, s.now))
 	}
-	e := &event{at: t, seq: s.seq, fn: fn}
+	var slot int32
+	if n := len(s.free); n > 0 {
+		slot = s.free[n-1]
+		s.free = s.free[:n-1]
+	} else {
+		// Generations start at 1 so a zero Timer never matches a slot.
+		s.events = append(s.events, event{gen: 1})
+		slot = int32(len(s.events) - 1)
+	}
+	e := &s.events[slot]
+	e.at = t
+	e.seq = s.seq
+	e.fn = fn
 	s.seq++
-	heap.Push(&s.events, e)
-	return &Timer{s: s, e: e}
+	s.heap = append(s.heap, slot)
+	s.siftUp(len(s.heap) - 1)
+	return Timer{s: s, slot: slot, gen: e.gen}
 }
 
-// After schedules fn to run d from now.
-func (s *Scheduler) After(d Time, fn func()) *Timer {
+// After schedules fn to run d from now. A negative duration is a
+// programming error and panics, exactly like At with a past time: the
+// engine refuses to reorder time on the caller's behalf.
+func (s *Scheduler) After(d Time, fn func()) Timer {
 	if d < 0 {
-		d = 0
+		panic(fmt.Sprintf("sim: scheduling %v in the past (negative duration)", d))
 	}
 	return s.At(s.now+d, fn)
 }
 
-// Timer is a handle to a scheduled event that can be cancelled.
+// Timer is a generation-stamped handle to a scheduled event. It is a
+// value type: copy it freely, compare to the zero Timer for "never
+// scheduled". A handle goes dead the moment its event fires or is
+// stopped, and stays dead even after the underlying slot is reused.
 type Timer struct {
-	s *Scheduler
-	e *event
+	s    *Scheduler
+	slot int32
+	gen  uint32
 }
 
 // Stop cancels the timer if it has not fired. It reports whether the
-// timer was still pending.
-func (t *Timer) Stop() bool {
-	if t == nil || t.e == nil || t.e.index < 0 {
+// timer was still pending. Stopping a zero, fired, or already-stopped
+// timer is a safe no-op.
+func (t Timer) Stop() bool {
+	if t.s == nil {
 		return false
 	}
-	heap.Remove(&t.s.events, t.e.index)
-	t.e = nil
+	e := &t.s.events[t.slot]
+	if e.gen != t.gen || e.heapIdx < 0 {
+		return false
+	}
+	t.s.removeAt(int(e.heapIdx))
+	t.s.release(t.slot)
 	return true
 }
 
 // Pending reports whether the timer is still scheduled.
-func (t *Timer) Pending() bool { return t != nil && t.e != nil && t.e.index >= 0 }
+func (t Timer) Pending() bool {
+	if t.s == nil {
+		return false
+	}
+	e := &t.s.events[t.slot]
+	return e.gen == t.gen && e.heapIdx >= 0
+}
 
 // Stop halts Run after the currently executing event returns.
 func (s *Scheduler) Stop() { s.stopped = true }
 
 // Pending reports the number of queued events.
-func (s *Scheduler) Pending() int { return len(s.events) }
+func (s *Scheduler) Pending() int { return len(s.heap) }
 
 // Run executes events in timestamp order until the queue drains, Stop is
 // called, or the event Limit is hit. It reports the number of events run.
@@ -173,20 +270,32 @@ func (s *Scheduler) Run() uint64 {
 func (s *Scheduler) RunUntil(deadline Time) uint64 {
 	start := s.Executed
 	s.stopped = false
-	for len(s.events) > 0 && !s.stopped {
-		next := s.events[0]
-		if next.at > deadline {
+	for len(s.heap) > 0 && !s.stopped {
+		slot := s.heap[0]
+		e := &s.events[slot]
+		if e.at > deadline {
 			break
 		}
-		heap.Pop(&s.events)
-		s.now = next.at
+		fn := e.fn
+		s.now = e.at
+		// Retire the slot before running fn so the callback observes its
+		// own timer as no longer pending and the slot is free for reuse
+		// by whatever fn schedules.
+		n := len(s.heap) - 1
+		last := s.heap[n]
+		s.heap = s.heap[:n]
+		if n > 0 {
+			s.heap[0] = last
+			s.siftDown(0)
+		}
+		s.release(slot)
 		s.Executed++
-		next.fn()
+		fn()
 		if s.Limit != 0 && s.Executed >= s.Limit {
 			break
 		}
 	}
-	if deadline != MaxTime && s.now < deadline && len(s.events) == 0 {
+	if deadline != MaxTime && s.now < deadline && len(s.heap) == 0 {
 		s.now = deadline
 	}
 	return s.Executed - start

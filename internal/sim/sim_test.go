@@ -95,17 +95,14 @@ func TestSchedulePastPanics(t *testing.T) {
 	s.Run()
 }
 
-func TestNegativeAfterClampsToNow(t *testing.T) {
+func TestNegativeAfterPanics(t *testing.T) {
 	s := NewScheduler()
-	ran := false
-	s.After(-5*Nanosecond, func() { ran = true })
-	s.Run()
-	if !ran {
-		t.Fatal("negative After never ran")
-	}
-	if s.Now() != 0 {
-		t.Fatalf("now = %v, want 0", s.Now())
-	}
+	defer func() {
+		if recover() == nil {
+			t.Error("negative After did not panic")
+		}
+	}()
+	s.After(-5*Nanosecond, func() {})
 }
 
 func TestTimerStop(t *testing.T) {
@@ -234,7 +231,7 @@ func TestPropertyCancellation(t *testing.T) {
 		s := NewScheduler()
 		total := int(n%64) + 1
 		fired := make([]bool, total)
-		timers := make([]*Timer, total)
+		timers := make([]Timer, total)
 		for i := 0; i < total; i++ {
 			i := i
 			timers[i] = s.After(Time(rng.Intn(1000))*Nanosecond, func() { fired[i] = true })
@@ -255,6 +252,124 @@ func TestPropertyCancellation(t *testing.T) {
 	}
 	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// A zero Timer must behave like a long-dead one: not pending, Stop is a
+// no-op. Protocol code relies on this instead of nil-pointer checks.
+func TestZeroTimer(t *testing.T) {
+	var tm Timer
+	if tm.Pending() {
+		t.Fatal("zero timer pending")
+	}
+	if tm.Stop() {
+		t.Fatal("Stop on zero timer returned true")
+	}
+}
+
+// A handle from a fired event must stay dead after its slot is recycled:
+// stopping it must not cancel the slot's new occupant.
+func TestStaleHandleAfterSlotReuse(t *testing.T) {
+	s := NewScheduler()
+	stale := s.After(1*Nanosecond, func() {})
+	s.Run()
+	// The freelist is LIFO and empty, so this reuses stale's slot.
+	ran := false
+	fresh := s.After(1*Nanosecond, func() { ran = true })
+	if stale.Pending() {
+		t.Fatal("stale handle reports pending after slot reuse")
+	}
+	if stale.Stop() {
+		t.Fatal("stale handle stopped the slot's new occupant")
+	}
+	if !fresh.Pending() {
+		t.Fatal("fresh timer lost")
+	}
+	s.Run()
+	if !ran {
+		t.Fatal("fresh timer never fired")
+	}
+}
+
+// Same-time events must run in scheduling order even when cancellations
+// in between force heap rebuilds (removeAt sift-down/sift-up churn).
+func TestFIFOTieBreakAcrossHeapRebuilds(t *testing.T) {
+	s := NewScheduler()
+	var got []int
+	var victims []Timer
+	for round := 0; round < 5; round++ {
+		for i := 0; i < 8; i++ {
+			id := round*8 + i
+			s.At(5*Nanosecond, func() { got = append(got, id) })
+			// Interleave far-future victims whose removal reshapes the heap.
+			victims = append(victims, s.At(Time(100+id)*Nanosecond, func() {
+				t.Errorf("victim %d fired", id)
+			}))
+		}
+		// Cancel the odd victims now, while the tied events are queued.
+		for i := len(victims) - 1; i >= 0; i -= 2 {
+			victims[i].Stop()
+		}
+	}
+	for _, v := range victims {
+		v.Stop()
+	}
+	s.Run()
+	if len(got) != 40 || !sort.IntsAreSorted(got) {
+		t.Fatalf("tied events ran out of order after rebuilds: %v", got)
+	}
+}
+
+// When Limit truncates a RunUntil mid-deadline, the clock must stay at
+// the last executed event, not jump to the deadline: events remain.
+func TestRunUntilLimitClockPlacement(t *testing.T) {
+	s := NewScheduler()
+	s.Limit = 3
+	for i := 1; i <= 10; i++ {
+		s.At(Time(i)*Microsecond, func() {})
+	}
+	s.RunUntil(8 * Microsecond)
+	if s.Now() != 3*Microsecond {
+		t.Fatalf("clock at %v after Limit truncation, want 3us", s.Now())
+	}
+	if s.Pending() != 7 {
+		t.Fatalf("pending = %d, want 7", s.Pending())
+	}
+}
+
+// A timer must observe itself as not pending from inside its own
+// callback, and re-arming from the callback must yield a live handle.
+func TestTimerNotPendingDuringFire(t *testing.T) {
+	s := NewScheduler()
+	var tm Timer
+	var rearmed Timer
+	tm = s.After(1*Nanosecond, func() {
+		if tm.Pending() {
+			t.Error("timer pending inside its own callback")
+		}
+		if tm.Stop() {
+			t.Error("Stop inside own callback returned true")
+		}
+		rearmed = s.After(1*Nanosecond, func() {})
+	})
+	s.RunUntil(1 * Nanosecond)
+	if !rearmed.Pending() {
+		t.Fatal("re-armed timer not pending")
+	}
+}
+
+// Fired and cancelled slots must be recycled: steady-state churn may not
+// grow slot storage beyond the peak number of concurrently-pending events.
+func TestSlotRecycling(t *testing.T) {
+	s := NewScheduler()
+	for i := 0; i < 1000; i++ {
+		s.After(1*Nanosecond, func() {})
+		keep := s.After(2*Nanosecond, func() {})
+		keep.Stop()
+		s.Run()
+	}
+	if cap(s.events) > 8 {
+		t.Fatalf("slot storage grew to %d for 2 concurrent events", cap(s.events))
 	}
 }
 

@@ -56,6 +56,11 @@ type Network struct {
 	Switches []*netsim.Switch
 	Cfg      Config
 
+	// Pool is the run-scoped packet freelist shared by every host and
+	// port of this fabric. One pool per Network keeps runs deterministic
+	// and race-free under the experiment worker pool.
+	Pool *netsim.PacketPool
+
 	// BaseRTT is the zero-load round-trip time between the two most
 	// distant hosts, including per-hop serialization of one MSS packet.
 	BaseRTT sim.Time
@@ -76,6 +81,19 @@ func (n *Network) SwitchPorts() []*netsim.Port {
 		out = append(out, sw.Ports()...)
 	}
 	return out
+}
+
+// attachPool gives every host and every port (NICs included) the run's
+// packet pool, completing the Get-at-source / Free-at-sink cycle.
+func (n *Network) attachPool() {
+	n.Pool = netsim.NewPacketPool()
+	for _, h := range n.Hosts {
+		h.SetPool(n.Pool)
+		h.NIC().SetPacketPool(n.Pool)
+	}
+	for _, p := range n.SwitchPorts() {
+		p.SetPacketPool(n.Pool)
+	}
 }
 
 // switchPortCfg derives the netsim.PortConfig for a switch egress.
@@ -138,6 +156,7 @@ func Star(n int, cfg Config) *Network {
 	}
 	// host -> switch -> host: 2 wires each way plus serialization.
 	net.BaseRTT = 4*cfg.LinkDelay + 2*cfg.HostRate.TxTime(netsim.MSS+netsim.HeaderBytes) + 2*cfg.HostRate.TxTime(netsim.HeaderBytes)
+	net.attachPool()
 	return net
 }
 
@@ -223,6 +242,7 @@ func LeafSpine(leaves, spines, hostsPerLeaf int, cfg Config) *Network {
 	net.BaseRTT = 8*cfg.LinkDelay +
 		2*cfg.HostRate.TxTime(mtu) + 2*cfg.CoreRate.TxTime(mtu) +
 		2*cfg.HostRate.TxTime(netsim.HeaderBytes) + 2*cfg.CoreRate.TxTime(netsim.HeaderBytes)
+	net.attachPool()
 	return net
 }
 

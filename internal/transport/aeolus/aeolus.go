@@ -100,7 +100,7 @@ type sender struct {
 	cfg Config
 
 	sentNext int64
-	keep     *sim.Timer
+	keep     sim.Timer
 	gotRx    bool
 }
 
@@ -109,7 +109,7 @@ func (s *sender) launch() {
 	first := true
 	for s.sentNext < unsched {
 		end := min64(s.sentNext+netsim.MSS, unsched)
-		pkt := netsim.DataPacket(s.f.ID, s.f.Src.ID(), s.f.Dst.ID(), s.sentNext, int32(end-s.sentNext), s.cfg.UnschedPrio)
+		pkt := s.f.Src.Data(s.f.ID, s.f.Dst.ID(), s.sentNext, int32(end-s.sentNext), s.cfg.UnschedPrio)
 		pkt.Meta = &dataInfo{Size: s.f.Size}
 		if first {
 			// The probe packet is protected so the receiver always
@@ -130,7 +130,7 @@ func (s *sender) armKeepalive() {
 		if s.f.Done() || s.gotRx {
 			return
 		}
-		pkt := netsim.DataPacket(s.f.ID, s.f.Src.ID(), s.f.Dst.ID(), 0, int32(min64(netsim.MSS, s.f.Size)), 1)
+		pkt := s.f.Src.Data(s.f.ID, s.f.Dst.ID(), 0, int32(min64(netsim.MSS, s.f.Size)), 1)
 		pkt.Meta = &dataInfo{Size: s.f.Size}
 		pkt.Retrans = true
 		atomic.AddInt64(&Debug.Keepalives, 1)
@@ -153,7 +153,7 @@ func (s *sender) Handle(pkt *netsim.Packet) {
 		atomic.AddInt64(&Debug.ResendBytes, end-gi.ResendSeq)
 		for seq := gi.ResendSeq; seq < end; seq += netsim.MSS {
 			n := int32(min64(seq+netsim.MSS, end) - seq)
-			rp := netsim.DataPacket(s.f.ID, s.f.Src.ID(), s.f.Dst.ID(), seq, n, gi.Prio)
+			rp := s.f.Src.Data(s.f.ID, s.f.Dst.ID(), seq, n, gi.Prio)
 			rp.Retrans = true
 			rp.Meta = &dataInfo{Size: s.f.Size}
 			s.f.Src.Send(rp)
@@ -165,7 +165,7 @@ func (s *sender) Handle(pkt *netsim.Packet) {
 	}
 	for s.sentNext < limit {
 		end := min64(s.sentNext+netsim.MSS, limit)
-		pkt := netsim.DataPacket(s.f.ID, s.f.Src.ID(), s.f.Dst.ID(), s.sentNext, int32(end-s.sentNext), gi.Prio)
+		pkt := s.f.Src.Data(s.f.ID, s.f.Dst.ID(), s.sentNext, int32(end-s.sentNext), gi.Prio)
 		pkt.Meta = &dataInfo{Size: s.f.Size}
 		s.f.Src.Send(pkt)
 		s.sentNext = end
@@ -220,7 +220,7 @@ type rxFlow struct {
 	// an RTO cadence rather than per arrival (which would turn one shed
 	// burst into a retransmission storm).
 	reqd  transport.IntervalSet
-	retry *sim.Timer
+	retry sim.Timer
 }
 
 // grantSome issues credits while this flow's outstanding window allows.
@@ -231,13 +231,13 @@ func (rx *rxFlow) grantSome(prio int8) {
 	if seq, n := rx.nextHolePacket(); n > 0 {
 		atomic.AddInt64(&Debug.HoleReqs, 1)
 		rx.reqd.Add(seq, seq+n)
-		g := netsim.CtrlPacket(netsim.Grant, rx.f.ID, rx.f.Dst.ID(), rx.f.Src.ID(), 0)
+		g := rx.f.Dst.Ctrl(netsim.Grant, rx.f.ID, rx.f.Src.ID(), 0)
 		g.Meta = &grantInfo{UpTo: rx.granted, Prio: prio, ResendSeq: seq, ResendLen: n}
 		rx.f.Dst.Send(g)
 	}
 	for rx.granted-rx.r.Received() < rx.mgr.cfg.RTTBytes && rx.granted < rx.f.Size {
 		upTo := min64(rx.granted+netsim.MSS, rx.f.Size)
-		g := netsim.CtrlPacket(netsim.Grant, rx.f.ID, rx.f.Dst.ID(), rx.f.Src.ID(), 0)
+		g := rx.f.Dst.Ctrl(netsim.Grant, rx.f.ID, rx.f.Src.ID(), 0)
 		g.Meta = &grantInfo{UpTo: upTo, Prio: prio}
 		rx.f.Dst.Send(g)
 		rx.granted = upTo
@@ -282,9 +282,7 @@ func (rx *rxFlow) Handle(pkt *netsim.Packet) {
 	}
 	rx.r.Add(pkt.Seq, pkt.PayloadLen)
 	if rx.r.Complete() {
-		if rx.retry != nil {
-			rx.retry.Stop()
-		}
+		rx.retry.Stop()
 		delete(rx.mgr.flows, rx.f.ID)
 		rx.mgr.env.Complete(rx.f)
 		rx.mgr.pump()
@@ -297,9 +295,7 @@ func (rx *rxFlow) Handle(pkt *netsim.Packet) {
 // armRetry is the last-resort timeout (e.g. the tail packet of a fully
 // granted flow was lost).
 func (rx *rxFlow) armRetry() {
-	if rx.retry != nil {
-		rx.retry.Stop()
-	}
+	rx.retry.Stop()
 	rx.retry = rx.mgr.env.Sched().After(rx.mgr.env.RTO(), func() {
 		if rx.f.Done() || rx.r.Complete() {
 			return
@@ -311,7 +307,7 @@ func (rx *rxFlow) armRetry() {
 		miss := rx.r.FirstMissing()
 		end := min64(miss+netsim.MSS, rx.f.Size)
 		rx.reqd.Add(miss, end)
-		g := netsim.CtrlPacket(netsim.Grant, rx.f.ID, rx.f.Dst.ID(), rx.f.Src.ID(), 0)
+		g := rx.f.Dst.Ctrl(netsim.Grant, rx.f.ID, rx.f.Src.ID(), 0)
 		g.Meta = &grantInfo{UpTo: rx.granted, Prio: 2, ResendSeq: miss, ResendLen: end - miss}
 		rx.f.Dst.Send(g)
 		rx.armRetry()

@@ -87,7 +87,7 @@ type Sender struct {
 	markedInWin int64
 
 	dupAcks int
-	rto     *sim.Timer
+	rto     sim.Timer
 }
 
 // NewSender builds (but does not launch) a sender.
@@ -171,7 +171,7 @@ func (s *Sender) TrySend() {
 }
 
 func (s *Sender) transmit(seq int64, n int32, retrans bool) {
-	pkt := netsim.DataPacket(s.F.ID, s.F.Src.ID(), s.F.Dst.ID(), seq, n, s.C.Prio(s.BytesSent))
+	pkt := s.F.Src.Data(s.F.ID, s.F.Dst.ID(), seq, n, s.C.Prio(s.BytesSent))
 	pkt.ECT = !s.C.NoECN
 	pkt.Retrans = retrans
 	s.BytesSent += int64(n)
@@ -183,7 +183,7 @@ func (s *Sender) armRTO() {
 		s.stopRTO()
 		return
 	}
-	if s.rto != nil && s.rto.Pending() {
+	if s.rto.Pending() {
 		return
 	}
 	s.rto = s.Env.Sched().After(s.Env.RTO(), s.onRTO)
@@ -195,10 +195,8 @@ func (s *Sender) resetRTO() {
 }
 
 func (s *Sender) stopRTO() {
-	if s.rto != nil {
-		s.rto.Stop()
-		s.rto = nil
-	}
+	s.rto.Stop()
+	s.rto = sim.Timer{}
 }
 
 func (s *Sender) onRTO() {
@@ -360,7 +358,7 @@ func (r *Receiver) Handle(pkt *netsim.Packet) {
 		return
 	}
 	r.R.Add(pkt.Seq, pkt.PayloadLen)
-	ack := netsim.CtrlPacket(netsim.Ack, r.F.ID, r.F.Dst.ID(), r.F.Src.ID(), r.AckPrio)
+	ack := r.F.Dst.Ctrl(netsim.Ack, r.F.ID, r.F.Src.ID(), r.AckPrio)
 	ack.Seq = r.R.CumAck()
 	ack.ECE = pkt.CE
 	ack.EchoTS = pkt.SentAt

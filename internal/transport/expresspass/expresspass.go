@@ -68,7 +68,7 @@ type sender struct {
 
 // announce carries the flow's first byte as a credit request.
 func (s *sender) announce() {
-	req := netsim.DataPacket(s.f.ID, s.f.Src.ID(), s.f.Dst.ID(), 0, 1, 0)
+	req := s.f.Src.Data(s.f.ID, s.f.Dst.ID(), 0, 1, 0)
 	s.f.Src.Send(req)
 }
 
@@ -79,7 +79,7 @@ func (s *sender) Handle(pkt *netsim.Packet) {
 	}
 	// A credit may carry a retransmission request for a lost packet.
 	if ci, ok := pkt.Meta.(creditInfo); ok && ci.ResendLen > 0 {
-		rp := netsim.DataPacket(s.f.ID, s.f.Src.ID(), s.f.Dst.ID(), ci.ResendSeq, ci.ResendLen, 1)
+		rp := s.f.Src.Data(s.f.ID, s.f.Dst.ID(), ci.ResendSeq, ci.ResendLen, 1)
 		rp.Retrans = true
 		s.f.Src.Send(rp)
 		return
@@ -91,7 +91,7 @@ func (s *sender) Handle(pkt *netsim.Packet) {
 	if end > s.f.Size {
 		end = s.f.Size
 	}
-	s.f.Src.Send(netsim.DataPacket(s.f.ID, s.f.Src.ID(), s.f.Dst.ID(), s.sentNext, int32(end-s.sentNext), 1))
+	s.f.Src.Send(s.f.Src.Data(s.f.ID, s.f.Dst.ID(), s.sentNext, int32(end-s.sentNext), 1))
 	s.sentNext = end
 }
 
@@ -143,7 +143,7 @@ func (cp *creditPacer) tick() {
 	rx := cp.queue[0]
 	cp.queue = append(cp.queue[1:], rx)
 	rx.credited += netsim.MSS
-	credit := netsim.CtrlPacket(netsim.Grant, rx.f.ID, rx.f.Dst.ID(), rx.f.Src.ID(), 0)
+	credit := rx.f.Dst.Ctrl(netsim.Grant, rx.f.ID, rx.f.Src.ID(), 0)
 	rx.f.Dst.Send(credit)
 	slot := cp.host.Rate().TxTime(netsim.MSS + netsim.HeaderBytes)
 	gap := sim.Time(float64(slot) / cp.rate)
@@ -158,7 +158,7 @@ type receiver struct {
 	pacer     *creditPacer
 	credited  int64
 	announced bool
-	retry     *sim.Timer
+	retry     sim.Timer
 }
 
 func (rc *receiver) done() bool { return rc.f.Done() }
@@ -176,9 +176,7 @@ func (rc *receiver) Handle(pkt *netsim.Packet) {
 	}
 	rc.r.Add(pkt.Seq, pkt.PayloadLen)
 	if rc.r.Complete() {
-		if rc.retry != nil {
-			rc.retry.Stop()
-		}
+		rc.retry.Stop()
 		rc.env.Complete(rc.f)
 		return
 	}
@@ -188,16 +186,14 @@ func (rc *receiver) Handle(pkt *netsim.Packet) {
 // armRetry re-requests the first missing packet on an RTO cadence (lost
 // credits or rare data losses on upstream hops).
 func (rc *receiver) armRetry() {
-	if rc.retry != nil {
-		rc.retry.Stop()
-	}
+	rc.retry.Stop()
 	rc.retry = rc.env.Sched().After(rc.env.RTO(), func() {
 		if rc.f.Done() || rc.r.Complete() {
 			return
 		}
 		miss := rc.r.FirstMissing()
 		end := rc.r.NextCovered(miss, min64(miss+netsim.MSS, rc.f.Size))
-		credit := netsim.CtrlPacket(netsim.Grant, rc.f.ID, rc.f.Dst.ID(), rc.f.Src.ID(), 0)
+		credit := rc.f.Dst.Ctrl(netsim.Grant, rc.f.ID, rc.f.Src.ID(), 0)
 		credit.Meta = creditInfo{ResendSeq: miss, ResendLen: int32(end - miss)}
 		rc.f.Dst.Send(credit)
 		rc.armRetry()

@@ -75,7 +75,7 @@ func (s *sender) emit(seq int64, retrans bool) {
 	if end > s.f.Size {
 		end = s.f.Size
 	}
-	pkt := netsim.DataPacket(s.f.ID, s.f.Src.ID(), s.f.Dst.ID(), seq, int32(end-seq), 0)
+	pkt := s.f.Src.Data(s.f.ID, s.f.Dst.ID(), seq, int32(end-seq), 0)
 	pkt.Retrans = retrans
 	s.f.Src.Send(pkt)
 }

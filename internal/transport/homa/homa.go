@@ -108,7 +108,7 @@ type sender struct {
 
 	sentNext int64 // next new byte to transmit
 	info     dataInfo
-	keep     *sim.Timer // pre-grant keepalive
+	keep     sim.Timer // pre-grant keepalive
 	gotRx    bool       // receiver has spoken (grant or resend arrived)
 }
 
@@ -133,7 +133,7 @@ func (s *sender) sendChunk(from, limit int64, prio int8, scheduled, retrans bool
 	if end <= from {
 		return
 	}
-	pkt := netsim.DataPacket(s.f.ID, s.f.Src.ID(), s.f.Dst.ID(), from, int32(end-from), prio)
+	pkt := s.f.Src.Data(s.f.ID, s.f.Dst.ID(), from, int32(end-from), prio)
 	pkt.Retrans = retrans
 	pkt.Meta = &dataInfo{Size: s.f.Size, Scheduled: scheduled}
 	s.f.Src.Send(pkt)
@@ -218,7 +218,7 @@ func (m *rxManager) pump() {
 		// Keep RTTBytes outstanding: granted beyond what has arrived.
 		for rx.granted-rx.r.Received() < m.cfg.RTTBytes && rx.granted < rx.f.Size {
 			upTo := min64(rx.granted+netsim.MSS, rx.f.Size)
-			g := netsim.CtrlPacket(netsim.Grant, rx.f.ID, rx.f.Dst.ID(), rx.f.Src.ID(), 0)
+			g := rx.f.Dst.Ctrl(netsim.Grant, rx.f.ID, rx.f.Src.ID(), 0)
 			g.Meta = &grantInfo{UpTo: upTo, Prio: prio}
 			rx.f.Dst.Send(g)
 			rx.granted = upTo
@@ -232,7 +232,7 @@ type rxFlow struct {
 	f       *transport.Flow
 	r       *transport.Reassembly
 	granted int64
-	retry   *sim.Timer
+	retry   sim.Timer
 }
 
 // Handle implements netsim.Endpoint (data arrivals).
@@ -242,9 +242,7 @@ func (rx *rxFlow) Handle(pkt *netsim.Packet) {
 	}
 	rx.r.Add(pkt.Seq, pkt.PayloadLen)
 	if rx.r.Complete() {
-		if rx.retry != nil {
-			rx.retry.Stop()
-		}
+		rx.retry.Stop()
 		delete(rx.mgr.flows, rx.f.ID)
 		rx.mgr.env.Complete(rx.f)
 		rx.mgr.pump()
@@ -256,9 +254,7 @@ func (rx *rxFlow) Handle(pkt *netsim.Packet) {
 
 // armRetry schedules a timeout-based RESEND for the first gap.
 func (rx *rxFlow) armRetry() {
-	if rx.retry != nil {
-		rx.retry.Stop()
-	}
+	rx.retry.Stop()
 	rx.retry = rx.mgr.env.Sched().After(rx.mgr.env.RTO(), func() {
 		if rx.f.Done() || rx.r.Complete() {
 			return
@@ -268,7 +264,7 @@ func (rx *rxFlow) armRetry() {
 		if end-miss > rx.mgr.cfg.RTTBytes {
 			end = miss + rx.mgr.cfg.RTTBytes
 		}
-		req := netsim.CtrlPacket(netsim.Ctrl, rx.f.ID, rx.f.Dst.ID(), rx.f.Src.ID(), 0)
+		req := rx.f.Dst.Ctrl(netsim.Ctrl, rx.f.ID, rx.f.Src.ID(), 0)
 		req.Meta = &resendInfo{Seq: miss, Len: end - miss}
 		rx.f.Dst.Send(req)
 		rx.armRetry()

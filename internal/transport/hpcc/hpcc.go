@@ -81,7 +81,7 @@ type sender struct {
 	skip           transport.IntervalSet // bytes delivered by a low loop
 	prevINT        []netsim.INTHop
 	dupAcks        int
-	rto            *sim.Timer
+	rto            sim.Timer
 }
 
 func (s *sender) inflight() int64 {
@@ -118,20 +118,18 @@ func (s *sender) trySend() {
 }
 
 func (s *sender) transmit(seq int64, n int32, retrans bool) {
-	pkt := netsim.DataPacket(s.f.ID, s.f.Src.ID(), s.f.Dst.ID(), seq, n, 0)
-	pkt.INT = make([]netsim.INTHop, 0, 8)
+	pkt := s.f.Src.Data(s.f.ID, s.f.Dst.ID(), seq, n, 0)
+	pkt.INT = s.f.Src.Pool().GetINT()
 	pkt.Retrans = retrans
 	s.f.Src.Send(pkt)
 }
 
 func (s *sender) armRTO() {
 	if s.inflight() <= 0 || s.f.Done() {
-		if s.rto != nil {
-			s.rto.Stop()
-		}
+		s.rto.Stop()
 		return
 	}
-	if s.rto != nil && s.rto.Pending() {
+	if s.rto.Pending() {
 		return
 	}
 	s.rto = s.env.Sched().After(s.env.RTO(), s.onRTO)
@@ -159,6 +157,10 @@ func (s *sender) Handle(pkt *netsim.Packet) {
 	}
 	if ints, ok := pkt.Meta.([]netsim.INTHop); ok && len(ints) > 0 {
 		s.react(ints)
+		// react copied what it keeps (prevINT); the telemetry array the
+		// receiver handed us can go back to the pool.
+		s.f.Src.Pool().PutINT(ints)
+		pkt.Meta = nil
 	}
 	s.processCum(pkt)
 	s.trySend()
@@ -173,9 +175,7 @@ func (s *sender) processCum(pkt *netsim.Packet) {
 			s.sndNxt = s.sndUna
 		}
 		s.dupAcks = 0
-		if s.rto != nil {
-			s.rto.Stop()
-		}
+		s.rto.Stop()
 	} else if s.inflight() > 0 {
 		s.dupAcks++
 		if s.dupAcks == 3 {
@@ -263,11 +263,14 @@ func (rc *receiver) Handle(pkt *netsim.Packet) {
 		return
 	}
 	rc.r.Add(pkt.Seq, pkt.PayloadLen)
-	ack := netsim.CtrlPacket(netsim.Ack, rc.f.ID, rc.f.Dst.ID(), rc.f.Src.ID(), 0)
+	ack := rc.f.Dst.Ctrl(netsim.Ack, rc.f.ID, rc.f.Src.ID(), 0)
 	ack.Seq = rc.r.CumAck()
 	ack.EchoTS = pkt.SentAt
 	if len(pkt.INT) > 0 {
+		// Move ownership: the data packet is recycled when this Handle
+		// returns, so the ACK must take the telemetry array with it.
 		ack.Meta = pkt.INT
+		pkt.INT = nil
 	}
 	rc.f.Dst.Send(ack)
 	if rc.r.Complete() {

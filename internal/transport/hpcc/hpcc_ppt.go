@@ -77,6 +77,9 @@ func (s *pptSender) Handle(pkt *netsim.Packet) {
 	}
 	if ints, ok := pkt.Meta.([]netsim.INTHop); ok && len(ints) > 0 {
 		s.lastU = s.reactU(ints)
+		// reactU copied what it keeps (prevINT); recycle the array.
+		s.f.Src.Pool().PutINT(ints)
+		pkt.Meta = nil
 		// The appendix-B trigger: telemetry says the path has spare
 		// capacity for opportunistic packets.
 		if s.lastU > 0 && s.lastU < s.cfg.Eta && !s.loop.Active() {
@@ -114,7 +117,7 @@ func (rc *dualReceiver) Handle(pkt *netsim.Packet) {
 			rc.pendingSeq, rc.pendingLen, rc.pendingCE = pkt.Seq, pkt.PayloadLen, pkt.CE
 			rc.hasPending = true
 		} else {
-			ack := netsim.CtrlPacket(netsim.Ack, rc.f.ID, rc.f.Dst.ID(), rc.f.Src.ID(), pkt.Prio)
+			ack := rc.f.Dst.Ctrl(netsim.Ack, rc.f.ID, rc.f.Src.ID(), pkt.Prio)
 			ack.LowLoop = true
 			ack.Seq = rc.r.CumAck()
 			ack.ECE = pkt.CE || rc.pendingCE
@@ -128,11 +131,14 @@ func (rc *dualReceiver) Handle(pkt *netsim.Packet) {
 			rc.f.Dst.Send(ack)
 		}
 	} else {
-		ack := netsim.CtrlPacket(netsim.Ack, rc.f.ID, rc.f.Dst.ID(), rc.f.Src.ID(), 0)
+		ack := rc.f.Dst.Ctrl(netsim.Ack, rc.f.ID, rc.f.Src.ID(), 0)
 		ack.Seq = rc.r.CumAck()
 		ack.EchoTS = pkt.SentAt
 		if len(pkt.INT) > 0 {
+			// Move ownership: the data packet is recycled when Handle
+			// returns, so the ACK takes the telemetry array with it.
 			ack.Meta = pkt.INT
+			pkt.INT = nil
 		}
 		rc.f.Dst.Send(ack)
 	}

@@ -51,7 +51,7 @@ type Loop struct {
 	inflight int64
 	oppSent  int64
 
-	deadTimer *sim.Timer
+	deadTimer sim.Timer
 }
 
 // New builds an (inactive) loop over the whole flow tail.
@@ -138,7 +138,7 @@ func (l *Loop) send() bool {
 		return false
 	}
 	n := int32(l.tailNext - seq)
-	pkt := netsim.DataPacket(l.f.ID, l.f.Src.ID(), l.f.Dst.ID(), seq, n, l.host.LowPrio())
+	pkt := l.f.Src.Data(l.f.ID, l.f.Dst.ID(), seq, n, l.host.LowPrio())
 	pkt.ECT = true
 	pkt.LowLoop = true
 	l.f.Src.Send(pkt)
@@ -175,9 +175,7 @@ func (l *Loop) OnLowAck(pkt *netsim.Packet) {
 }
 
 func (l *Loop) resetDeadTimer() {
-	if l.deadTimer != nil {
-		l.deadTimer.Stop()
-	}
+	l.deadTimer.Stop()
 	l.deadTimer = l.env.Sched().After(2*l.rtt(), l.Terminate)
 }
 

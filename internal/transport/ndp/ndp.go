@@ -99,7 +99,7 @@ func (s *sender) sendNext(limit int64) {
 	if end <= s.sentNext {
 		return
 	}
-	pkt := netsim.DataPacket(s.f.ID, s.f.Src.ID(), s.f.Dst.ID(), s.sentNext, int32(end-s.sentNext), s.cfg.DataPrio)
+	pkt := s.f.Src.Data(s.f.ID, s.f.Dst.ID(), s.sentNext, int32(end-s.sentNext), s.cfg.DataPrio)
 	s.f.Src.Send(pkt)
 	s.sentNext = end
 }
@@ -118,7 +118,7 @@ func (s *sender) Handle(pkt *netsim.Packet) {
 		if len(s.rtxQueue) > 0 {
 			ni := s.rtxQueue[0]
 			s.rtxQueue = s.rtxQueue[1:]
-			rp := netsim.DataPacket(s.f.ID, s.f.Src.ID(), s.f.Dst.ID(), ni.Seq, ni.Len, s.cfg.DataPrio)
+			rp := s.f.Src.Data(s.f.ID, s.f.Dst.ID(), ni.Seq, ni.Len, s.cfg.DataPrio)
 			rp.Retrans = true
 			s.f.Src.Send(rp)
 			return
@@ -163,7 +163,7 @@ type receiver struct {
 	f     *transport.Flow
 	r     *transport.Reassembly
 	pacer *pullPacer
-	retry *sim.Timer
+	retry sim.Timer
 }
 
 // Handle implements netsim.Endpoint.
@@ -173,15 +173,13 @@ func (rc *receiver) Handle(pkt *netsim.Packet) {
 	}
 	if pkt.Trimmed {
 		// Header survived: tell the sender immediately, then pull.
-		nack := netsim.CtrlPacket(netsim.Ctrl, rc.f.ID, rc.f.Dst.ID(), rc.f.Src.ID(), 0)
+		nack := rc.f.Dst.Ctrl(netsim.Ctrl, rc.f.ID, rc.f.Src.ID(), 0)
 		nack.Meta = nackInfo{Seq: pkt.Seq, Len: pkt.PayloadLen}
 		rc.f.Dst.Send(nack)
 	} else {
 		rc.r.Add(pkt.Seq, pkt.PayloadLen)
 		if rc.r.Complete() {
-			if rc.retry != nil {
-				rc.retry.Stop()
-			}
+			rc.retry.Stop()
 			rc.env.Complete(rc.f)
 			return
 		}
@@ -191,7 +189,7 @@ func (rc *receiver) Handle(pkt *netsim.Packet) {
 	// data we already hold still clock out pulls, which covers pulls
 	// consumed by retransmissions of trimmed packets. Spurious trailing
 	// pulls are harmless (the sender no-ops when nothing remains).
-	pull := netsim.CtrlPacket(netsim.Pull, rc.f.ID, rc.f.Dst.ID(), rc.f.Src.ID(), 0)
+	pull := rc.f.Dst.Ctrl(netsim.Pull, rc.f.ID, rc.f.Src.ID(), 0)
 	rc.pacer.enqueue(pull)
 }
 
@@ -199,9 +197,7 @@ func (rc *receiver) Handle(pkt *netsim.Packet) {
 // data packet or a pull was lost on a drop-tail fabric), issue a fresh
 // pull and NACK the first gap.
 func (rc *receiver) armRetry() {
-	if rc.retry != nil {
-		rc.retry.Stop()
-	}
+	rc.retry.Stop()
 	rc.retry = rc.env.Sched().After(rc.env.RTO(), func() {
 		if rc.f.Done() || rc.r.Complete() {
 			return
@@ -209,10 +205,10 @@ func (rc *receiver) armRetry() {
 		miss := rc.r.FirstMissing()
 		end := rc.r.NextCovered(miss, rc.f.Size)
 		n := int32(min64(end-miss, netsim.MSS))
-		nack := netsim.CtrlPacket(netsim.Ctrl, rc.f.ID, rc.f.Dst.ID(), rc.f.Src.ID(), 0)
+		nack := rc.f.Dst.Ctrl(netsim.Ctrl, rc.f.ID, rc.f.Src.ID(), 0)
 		nack.Meta = nackInfo{Seq: miss, Len: n}
 		rc.f.Dst.Send(nack)
-		pull := netsim.CtrlPacket(netsim.Pull, rc.f.ID, rc.f.Dst.ID(), rc.f.Src.ID(), 0)
+		pull := rc.f.Dst.Ctrl(netsim.Pull, rc.f.ID, rc.f.Src.ID(), 0)
 		rc.pacer.enqueue(pull)
 		rc.armRetry()
 	})

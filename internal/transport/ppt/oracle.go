@@ -152,7 +152,7 @@ func (s *oracleSender) sendOpportunistic() bool {
 		return false
 	}
 	n := int32(s.tailNext - seq)
-	pkt := netsim.DataPacket(s.f.ID, s.f.Src.ID(), s.f.Dst.ID(), seq, n, 4)
+	pkt := s.f.Src.Data(s.f.ID, s.f.Dst.ID(), seq, n, 4)
 	pkt.ECT = true
 	pkt.LowLoop = true
 	s.f.Src.Send(pkt)

@@ -300,7 +300,7 @@ type lcpLoop struct {
 	alphas []float64
 
 	// termination timer: 2 RTTs without low-priority ACKs.
-	deadTimer *sim.Timer
+	deadTimer sim.Timer
 
 	// sent/acked accounting.
 	oppSent int64
@@ -487,7 +487,7 @@ func (l *lcpLoop) sendOpportunistic() bool {
 	}
 	n := int32(l.tailNext - seq)
 	prio := hcpPrio(l.s.cfg, l.s.f, l.s.hcp.BytesSent) + 4
-	pkt := netsim.DataPacket(l.s.f.ID, l.s.f.Src.ID(), l.s.f.Dst.ID(), seq, n, prio)
+	pkt := l.s.f.Src.Data(l.s.f.ID, l.s.f.Dst.ID(), seq, n, prio)
 	pkt.ECT = !l.s.cfg.DisableECN
 	pkt.LowLoop = true
 	l.s.f.Src.Send(pkt)
@@ -528,9 +528,7 @@ func (l *lcpLoop) onLowAck(pkt *netsim.Packet) {
 }
 
 func (l *lcpLoop) resetDeadTimer() {
-	if l.deadTimer != nil {
-		l.deadTimer.Stop()
-	}
+	l.deadTimer.Stop()
 	l.deadTimer = l.s.env.Sched().After(2*l.rtt(), l.terminate)
 }
 
@@ -575,7 +573,7 @@ type receiver struct {
 	// flushTimer acknowledges a pending arrival alone once the loop has
 	// gone quiet: without it, an odd opportunistic packet count strands
 	// the last arrival forever and the sender's inflight never drains.
-	flushTimer *sim.Timer
+	flushTimer sim.Timer
 }
 
 func newReceiver(env *transport.Env, f *transport.Flow, cfg Config) *receiver {
@@ -604,7 +602,7 @@ func (rc *receiver) Handle(pkt *netsim.Packet) {
 }
 
 func (rc *receiver) ackHigh(pkt *netsim.Packet) {
-	ack := netsim.CtrlPacket(netsim.Ack, rc.f.ID, rc.f.Dst.ID(), rc.f.Src.ID(), 0)
+	ack := rc.f.Dst.Ctrl(netsim.Ack, rc.f.ID, rc.f.Src.ID(), 0)
 	ack.Seq = rc.r.CumAck()
 	ack.ECE = pkt.CE
 	ack.EchoTS = pkt.SentAt
@@ -621,16 +619,12 @@ func (rc *receiver) onOpportunistic(pkt *netsim.Packet) {
 		rc.pendingSeq, rc.pendingLen, rc.pendingCE = pkt.Seq, pkt.PayloadLen, pkt.CE
 		rc.pendingTS, rc.pendingPrio = pkt.SentAt, pkt.Prio
 		rc.hasPending = true
-		if rc.flushTimer != nil {
-			rc.flushTimer.Stop()
-		}
+		rc.flushTimer.Stop()
 		rc.flushTimer = rc.env.Sched().After(2*rc.env.BaseRTT(), rc.flushPending)
 		return
 	}
-	if rc.flushTimer != nil {
-		rc.flushTimer.Stop()
-		rc.flushTimer = nil
-	}
+	rc.flushTimer.Stop()
+	rc.flushTimer = sim.Timer{}
 	meta := &transport.AckMeta{
 		LowSeqs:      [2]int64{rc.pendingSeq, pkt.Seq},
 		LowLens:      [2]int32{rc.pendingLen, pkt.PayloadLen},
@@ -638,7 +632,7 @@ func (rc *receiver) onOpportunistic(pkt *netsim.Packet) {
 		TailFrontier: rc.r.TailFrontier(),
 	}
 	rc.hasPending = false
-	ack := netsim.CtrlPacket(netsim.Ack, rc.f.ID, rc.f.Dst.ID(), rc.f.Src.ID(), pkt.Prio)
+	ack := rc.f.Dst.Ctrl(netsim.Ack, rc.f.ID, rc.f.Src.ID(), pkt.Prio)
 	ack.LowLoop = true
 	ack.Seq = rc.r.CumAck()
 	ack.ECE = pkt.CE || rc.pendingCE
@@ -662,8 +656,8 @@ func (rc *receiver) flushPending() {
 		TailFrontier: rc.r.TailFrontier(),
 	}
 	rc.hasPending = false
-	rc.flushTimer = nil
-	ack := netsim.CtrlPacket(netsim.Ack, rc.f.ID, rc.f.Dst.ID(), rc.f.Src.ID(), rc.pendingPrio)
+	rc.flushTimer = sim.Timer{}
+	ack := rc.f.Dst.Ctrl(netsim.Ack, rc.f.ID, rc.f.Src.ID(), rc.pendingPrio)
 	ack.LowLoop = true
 	ack.Seq = rc.r.CumAck()
 	ack.ECE = rc.pendingCE

@@ -96,7 +96,7 @@ func (s *sender) sendOpportunistic() bool {
 		return false // crossed with the primary loop: RC3 stops here
 	}
 	n := int32(s.tailNext - seq)
-	pkt := netsim.DataPacket(s.f.ID, s.f.Src.ID(), s.f.Dst.ID(), seq, n, s.lowPrio())
+	pkt := s.f.Src.Data(s.f.ID, s.f.Dst.ID(), seq, n, s.lowPrio())
 	pkt.ECT = true // marked, but RC3 ignores the echo
 	pkt.LowLoop = true
 	s.f.Src.Send(pkt)
@@ -143,7 +143,7 @@ func (rc *receiver) Handle(pkt *netsim.Packet) {
 		return
 	}
 	added := rc.r.Add(pkt.Seq, pkt.PayloadLen)
-	ack := netsim.CtrlPacket(netsim.Ack, rc.f.ID, rc.f.Dst.ID(), rc.f.Src.ID(), 0)
+	ack := rc.f.Dst.Ctrl(netsim.Ack, rc.f.ID, rc.f.Src.ID(), 0)
 	ack.Seq = rc.r.CumAck()
 	ack.ECE = pkt.CE
 	ack.EchoTS = pkt.SentAt

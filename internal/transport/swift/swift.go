@@ -96,7 +96,7 @@ type sender struct {
 	lastDecrease   sim.Time
 	decreased      bool
 	dupAcks        int
-	rto            *sim.Timer
+	rto            sim.Timer
 
 	// loop is the PPT low-priority loop (WithPPT variant, Fig 14).
 	loop      *lowloop.Loop
@@ -172,7 +172,7 @@ func (s *sender) trySend() {
 		if seq >= s.f.Size || end <= seq {
 			break
 		}
-		pkt := netsim.DataPacket(s.f.ID, s.f.Src.ID(), s.f.Dst.ID(), seq, int32(end-seq), s.prio(false))
+		pkt := s.f.Src.Data(s.f.ID, s.f.Dst.ID(), seq, int32(end-seq), s.prio(false))
 		s.bytesSent += int64(end - seq)
 		s.f.Src.Send(pkt)
 		s.sndNxt = end
@@ -182,12 +182,10 @@ func (s *sender) trySend() {
 
 func (s *sender) armRTO() {
 	if s.inflight() <= 0 || s.f.Done() {
-		if s.rto != nil {
-			s.rto.Stop()
-		}
+		s.rto.Stop()
 		return
 	}
-	if s.rto != nil && s.rto.Pending() {
+	if s.rto.Pending() {
 		return
 	}
 	s.rto = s.env.Sched().After(s.env.RTO(), s.onRTO)
@@ -230,9 +228,7 @@ func (s *sender) Handle(pkt *netsim.Packet) {
 			s.sndNxt = s.sndUna
 		}
 		s.dupAcks = 0
-		if s.rto != nil {
-			s.rto.Stop()
-		}
+		s.rto.Stop()
 		s.adjust(rtt, acked)
 	} else if s.inflight() > 0 {
 		s.dupAcks++
@@ -287,7 +283,7 @@ func (s *sender) fastRetransmit() {
 	if end <= seq {
 		return
 	}
-	pkt := netsim.DataPacket(s.f.ID, s.f.Src.ID(), s.f.Dst.ID(), seq, int32(end-seq), s.prio(false))
+	pkt := s.f.Src.Data(s.f.ID, s.f.Dst.ID(), seq, int32(end-seq), s.prio(false))
 	pkt.Retrans = true
 	s.f.Src.Send(pkt)
 	s.cwnd /= 2
@@ -316,7 +312,7 @@ func (rc *receiver) Handle(pkt *netsim.Packet) {
 		return
 	}
 	rc.r.Add(pkt.Seq, pkt.PayloadLen)
-	ack := netsim.CtrlPacket(netsim.Ack, rc.f.ID, rc.f.Dst.ID(), rc.f.Src.ID(), 0)
+	ack := rc.f.Dst.Ctrl(netsim.Ack, rc.f.ID, rc.f.Src.ID(), 0)
 	ack.Seq = rc.r.CumAck()
 	ack.EchoTS = pkt.SentAt
 	rc.f.Dst.Send(ack)

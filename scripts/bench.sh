@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Benchmark harness: records the engine's perf trajectory.
+#
+#   scripts/bench.sh            # quick: 1 iteration per figure benchmark
+#   BENCHTIME=2s scripts/bench.sh   # steadier numbers
+#
+# Produces two artifacts in the repo root:
+#   - bench_figures.txt       `go test -bench` output (ns/op, allocs/op,
+#                             Mevents/s per figure benchmark)
+#   - BENCH_<date>.json       machine-readable per-experiment numbers
+#                             from `pptsim -benchjson`, meant to be
+#                             checked in so perf deltas are diffable
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${BENCHTIME:-1x}"
+DATE="$(date +%F)"
+
+echo "== go test -bench (benchtime=$BENCHTIME) =="
+go test -bench 'BenchmarkFig|BenchmarkTable|BenchmarkTransports' \
+    -benchmem -benchtime "$BENCHTIME" -run '^$' . | tee bench_figures.txt
+
+echo
+echo "== pptsim -benchjson -> BENCH_${DATE}.json =="
+go run ./cmd/pptsim -benchjson "BENCH_${DATE}.json"
+echo "wrote BENCH_${DATE}.json"
