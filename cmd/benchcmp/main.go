@@ -1,0 +1,115 @@
+// Command benchcmp diffs a fresh pptsim -benchjson run against a
+// checked-in BENCH_*.json baseline and fails (exit 1) when any
+// experiment's ns/op regressed beyond the threshold.
+//
+// Because baselines are recorded on whatever machine cut the PR while
+// CI runs on different hardware, the comparison normalizes by default:
+// fresh timings are scaled by sum(base ns)/sum(fresh ns) before the
+// per-entry check, so a uniform machine-speed difference cancels out
+// and the gate triggers only when individual experiments regressed
+// relative to the rest of the suite. Disable with -no-normalize when
+// both files come from the same machine.
+//
+// Usage:
+//
+//	benchcmp -base BENCH_2026-08-06.json -fresh bench.json [-threshold 15] [-report-only] [-no-normalize]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"ppt/internal/benchfmt"
+)
+
+func main() {
+	var (
+		basePath    = flag.String("base", "", "checked-in baseline BENCH_*.json")
+		freshPath   = flag.String("fresh", "", "freshly generated bench json")
+		threshold   = flag.Float64("threshold", 15, "max allowed ns/op regression, percent")
+		reportOnly  = flag.Bool("report-only", false, "print the comparison but always exit 0 (PR mode)")
+		noNormalize = flag.Bool("no-normalize", false, "compare raw ns/op without machine-speed normalization")
+	)
+	flag.Parse()
+	if *basePath == "" || *freshPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	base, err := benchfmt.Read(*basePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fresh, err := benchfmt.Read(*freshPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	freshBy := fresh.ByName()
+	// Machine-speed factor over the entries both files share.
+	var baseSum, freshSum float64
+	type pair struct {
+		name string
+		b, f benchfmt.Entry
+	}
+	var pairs []pair
+	var removed, added []string
+	for _, b := range base.Entries {
+		f, ok := freshBy[b.Name]
+		if !ok {
+			removed = append(removed, b.Name)
+			continue
+		}
+		pairs = append(pairs, pair{b.Name, b, f})
+		baseSum += float64(b.NsPerOp)
+		freshSum += float64(f.NsPerOp)
+	}
+	baseBy := base.ByName()
+	for _, f := range fresh.Entries {
+		if _, ok := baseBy[f.Name]; !ok {
+			added = append(added, f.Name)
+		}
+	}
+	sort.Strings(removed)
+	sort.Strings(added)
+
+	scale := 1.0
+	if !*noNormalize && freshSum > 0 {
+		scale = baseSum / freshSum
+	}
+	fmt.Printf("benchcmp: base %s (%s, %d cpu) vs fresh %s (%s, %d cpu), threshold %.0f%%, scale %.3f\n",
+		*basePath, base.Date, base.NumCPU, *freshPath, fresh.Date, fresh.NumCPU, *threshold, scale)
+	fmt.Printf("%-10s %15s %15s %9s %9s\n", "name", "base-ns/op", "fresh-ns/op*", "delta", "Mev/s")
+
+	failed := 0
+	for _, p := range pairs {
+		adj := float64(p.f.NsPerOp) * scale
+		delta := 100 * (adj - float64(p.b.NsPerOp)) / float64(p.b.NsPerOp)
+		mark := ""
+		if delta > *threshold {
+			mark = "  REGRESSION"
+			failed++
+		}
+		fmt.Printf("%-10s %15d %15.0f %+8.1f%% %9.2f%s\n",
+			p.name, p.b.NsPerOp, adj, delta, p.f.EventsPerSec/1e6, mark)
+	}
+	for _, n := range removed {
+		fmt.Printf("%-10s only in baseline (entry removed?)\n", n)
+	}
+	for _, n := range added {
+		fmt.Printf("%-10s new entry (no baseline)\n", n)
+	}
+	if failed > 0 {
+		fmt.Printf("benchcmp: %d entr%s regressed more than %.0f%% ns/op\n",
+			failed, map[bool]string{true: "y", false: "ies"}[failed == 1], *threshold)
+		if !*reportOnly {
+			os.Exit(1)
+		}
+		fmt.Println("benchcmp: report-only mode, not failing")
+	} else {
+		fmt.Println("benchcmp: no ns/op regressions beyond threshold")
+	}
+}

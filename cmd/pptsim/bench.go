@@ -1,12 +1,12 @@
 package main
 
 import (
-	"encoding/json"
 	"fmt"
 	"os"
 	"runtime"
 	"time"
 
+	"ppt/internal/benchfmt"
 	"ppt/internal/exp"
 )
 
@@ -15,47 +15,29 @@ import (
 // so the recorded trajectory stays comparable across engine changes.
 const benchFlows = 60
 
-// benchEntry is one experiment's measurement in a BENCH_*.json file.
-type benchEntry struct {
-	Name         string  // experiment id
-	NsPerOp      int64   // wall-clock ns for one full experiment run
-	AllocsPerOp  uint64  // heap allocations during the run
-	BytesPerOp   uint64  // heap bytes allocated during the run
-	Events       uint64  // scheduler events executed across all cells
-	EventsPerSec float64 // Events / wall-clock seconds
-}
-
-// benchFile is the schema of a checked-in BENCH_<date>.json: machine
-// identification plus one entry per registered experiment, recorded so
-// the repo's perf trajectory is diffable across PRs.
-type benchFile struct {
-	Date      string
-	GoVersion string
-	GOOS      string
-	GOARCH    string
-	NumCPU    int
-	Flows     int // workload size every entry ran with
-	Entries   []benchEntry
-}
-
-// writeBenchJSON benchmarks every registered experiment once (at smoke
-// scale, serial cells so the measurement is of the engine rather than
-// the worker pool) and writes the results to path.
+// writeBenchJSON benchmarks every registered simulation experiment once
+// (at smoke scale, serial cells so the measurement is of the engine
+// rather than the worker pool) and writes the results to path.
+// Experiments that execute no scheduler events (static tables, the
+// identification study) are skipped: they finish in microseconds, so
+// their timings are pure noise to the benchcmp regression gate, and
+// events/sec is undefined for them.
 func writeBenchJSON(path string, opts exp.Options) error {
 	flows := opts.Flows
 	if flows == 0 {
 		flows = benchFlows
 	}
-	out := benchFile{
+	out := benchfmt.File{
 		Date:      time.Now().Format("2006-01-02"),
 		GoVersion: runtime.Version(),
 		GOOS:      runtime.GOOS,
 		GOARCH:    runtime.GOARCH,
 		NumCPU:    runtime.NumCPU(),
 		Flows:     flows,
+		Sched:     opts.Sched,
 	}
 	for _, e := range exp.List() {
-		o := exp.Options{Flows: flows, Seed: opts.Seed, Parallel: 1}
+		o := exp.Options{Flows: flows, Seed: opts.Seed, Parallel: 1, Sched: opts.Sched}
 		var before, after runtime.MemStats
 		runtime.GC()
 		runtime.ReadMemStats(&before)
@@ -66,7 +48,11 @@ func writeBenchJSON(path string, opts exp.Options) error {
 		if err != nil {
 			return fmt.Errorf("bench %s: %w", e.ID, err)
 		}
-		entry := benchEntry{
+		if res.Events == 0 {
+			fmt.Fprintf(os.Stderr, "%-8s skipped (no scheduler events)\n", e.ID)
+			continue
+		}
+		entry := benchfmt.Entry{
 			Name:        e.ID,
 			NsPerOp:     elapsed.Nanoseconds(),
 			AllocsPerOp: after.Mallocs - before.Mallocs,
@@ -80,10 +66,5 @@ func writeBenchJSON(path string, opts exp.Options) error {
 		fmt.Fprintf(os.Stderr, "%-8s %12d ns/op %10d allocs/op %8.2f Mevents/s\n",
 			e.ID, entry.NsPerOp, entry.AllocsPerOp, entry.EventsPerSec/1e6)
 	}
-	data, err := json.MarshalIndent(out, "", "  ")
-	if err != nil {
-		return err
-	}
-	data = append(data, '\n')
-	return os.WriteFile(path, data, 0o644)
+	return out.Write(path)
 }

@@ -32,16 +32,17 @@ import (
 
 func main() {
 	var (
-		id      = flag.String("exp", "", "experiment id (e.g. fig12, table2, ident)")
-		list    = flag.Bool("list", false, "list available experiments")
-		all     = flag.Bool("all", false, "run every experiment")
-		flows   = flag.Int("flows", 0, "override workload size (0 = experiment default)")
-		load    = flag.Float64("load", 0, "override network load where applicable")
-		seed    = flag.Int64("seed", 1, "workload RNG seed")
+		id       = flag.String("exp", "", "experiment id (e.g. fig12, table2, ident)")
+		list     = flag.Bool("list", false, "list available experiments")
+		all      = flag.Bool("all", false, "run every experiment")
+		flows    = flag.Int("flows", 0, "override workload size (0 = experiment default)")
+		load     = flag.Float64("load", 0, "override network load where applicable")
+		seed     = flag.Int64("seed", 1, "workload RNG seed")
 		repeats  = flag.Int("repeats", 1, "average metrics over this many seeds")
 		parallel = flag.Int("parallel", 0, "simulation cells to run concurrently (0 = GOMAXPROCS, 1 = serial)")
 		progress = flag.Bool("progress", false, "report per-cell progress on stderr")
 		schemes  = flag.String("schemes", "", "comma-separated scheme filter (e.g. ppt,dctcp)")
+		sched    = flag.String("sched", "wheel", "event-queue implementation: wheel (hierarchical timing wheel) or heap (4-ary min-heap); results are identical, speed is not")
 		asCSV    = flag.Bool("csv", false, "emit results as CSV instead of tables")
 		asJSON   = flag.Bool("json", false, "emit results as JSON instead of tables")
 
@@ -92,7 +93,7 @@ func main() {
 		}()
 	}
 
-	opts := exp.Options{Flows: *flows, Load: *load, Seed: *seed, Repeats: *repeats, Parallel: *parallel}
+	opts := exp.Options{Flows: *flows, Load: *load, Seed: *seed, Repeats: *repeats, Parallel: *parallel, Sched: *sched}
 	if *schemes != "" {
 		opts.Schemes = strings.Split(*schemes, ",")
 	}

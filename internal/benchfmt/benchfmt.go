@@ -1,0 +1,66 @@
+// Package benchfmt defines the schema of the checked-in BENCH_*.json
+// perf-trajectory files, shared by the writer (pptsim -benchjson) and
+// the regression gate (cmd/benchcmp, scripts/benchcmp.sh).
+package benchfmt
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Entry is one experiment's measurement.
+type Entry struct {
+	Name         string  // experiment id
+	NsPerOp      int64   // wall-clock ns for one full experiment run
+	AllocsPerOp  uint64  // heap allocations during the run
+	BytesPerOp   uint64  // heap bytes allocated during the run
+	Events       uint64  // scheduler events executed across all cells
+	EventsPerSec float64 // Events / wall-clock seconds
+}
+
+// File is a full BENCH_<date>.json: machine identification plus one
+// entry per benchmarked experiment, recorded so the repo's perf
+// trajectory is diffable across PRs.
+type File struct {
+	Date      string
+	GoVersion string
+	GOOS      string
+	GOARCH    string
+	NumCPU    int
+	Flows     int    // workload size every entry ran with
+	Sched     string `json:",omitempty"` // scheduler impl ("" = wheel default)
+	Entries   []Entry
+}
+
+// Read loads and decodes one bench file.
+func Read(path string) (*File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &f, nil
+}
+
+// Write encodes f to path, indented, with a trailing newline.
+func (f *File) Write(path string) error {
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	return os.WriteFile(path, data, 0o644)
+}
+
+// ByName indexes the entries.
+func (f *File) ByName() map[string]Entry {
+	m := make(map[string]Entry, len(f.Entries))
+	for _, e := range f.Entries {
+		m[e.Name] = e
+	}
+	return m
+}

@@ -39,6 +39,11 @@ type Options struct {
 	// OnProgress, when set, observes each completed cell as (done,
 	// total). Calls are serialized but may come from worker goroutines.
 	OnProgress func(done, total int)
+	// Sched selects the event-queue implementation every cell's
+	// scheduler uses: "wheel" (default, also ""), or "heap". Results are
+	// byte-identical either way (pinned by the golden tests); the knob
+	// exists for perf A/Bs. Validated by RunByID.
+	Sched string
 
 	// errs accumulates failed cells; RunByID surfaces them as notes.
 	errs *errSink
@@ -65,6 +70,25 @@ func (o Options) withDefaults(defFlows int) Options {
 		o.events = new(uint64)
 	}
 	return o
+}
+
+// schedImpl maps the validated Sched option onto the engine selector.
+func (o Options) schedImpl() sim.Impl {
+	impl, err := sim.ParseImpl(o.Sched)
+	if err != nil {
+		// RunByID rejects bad values before any cell runs; reaching this
+		// from elsewhere is a programming error.
+		panic(err)
+	}
+	return impl
+}
+
+// addEvents folds one scheduler's executed-event count into the
+// experiment-wide total. Safe from worker goroutines.
+func (o Options) addEvents(n uint64) {
+	if o.events != nil {
+		atomic.AddUint64(o.events, n)
+	}
 }
 
 func (o Options) wants(scheme string) bool {
@@ -261,6 +285,9 @@ func splitNat(s string) (string, int) {
 func RunByID(id string, o Options) (*Result, error) {
 	e, err := Get(id)
 	if err != nil {
+		return nil, err
+	}
+	if _, err := sim.ParseImpl(o.Sched); err != nil {
 		return nil, err
 	}
 	o = o.withDefaults(e.DefFlows)

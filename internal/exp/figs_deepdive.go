@@ -99,9 +99,11 @@ func init() {
 			measure := func(sc scheme) Row {
 				start := time.Now()
 				sum, env := execute(runSpec{fab: fab, sc: sc, dist: workload.WebSearch,
-					pattern: workload.AllToAll{N: fab.hosts}, load: load, flows: o.Flows, seed: o.Seed})
+					pattern: workload.AllToAll{N: fab.hosts}, load: load, flows: o.Flows, seed: o.Seed,
+					sched: o.schedImpl()})
 				elapsed := time.Since(start)
 				events := env.Sched().Executed
+				o.addEvents(events)
 				return Row{Label: sc.name, Sum: sum, Extra: map[string]float64{
 					"wall-ns-per-event": float64(elapsed.Nanoseconds()) / float64(events),
 					"events":            float64(events),
@@ -288,6 +290,7 @@ func runBufferCell(o Options, name, label string, k int64, load float64, efficie
 	fab := dumbbellFabric(2, k)
 	fab.cfg.ECNLowK = k // same threshold for both classes (per the paper)
 	cfg := fab.cfg
+	cfg.Sched = o.schedImpl()
 	if sc.tweak != nil {
 		sc.tweak(&cfg)
 	}
@@ -297,6 +300,7 @@ func runBufferCell(o Options, name, label string, k int64, load float64, efficie
 	bs := stats.SampleBuffers(env.Sched(), net.Switches[0].Port(0), 20*sim.Microsecond)
 	flows := makeFlows(cfg, workload.WebSearch, workload.Incast{N: 3, Target: 0}, load, o.Flows, o.Seed)
 	sum := transport.Run(env, sc.make(env), flows, transport.RunConfig{})
+	o.addEvents(env.Sched().Executed)
 	bs.Stop()
 	hi, lo := bs.MeanOccupancy()
 	row := Row{Label: label, Sum: sum}

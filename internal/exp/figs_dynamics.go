@@ -55,6 +55,7 @@ func init() {
 func runDynamics(o Options) *Result {
 	fab := testbedFabric()
 	cfg := fab.cfg
+	cfg.Sched = o.schedImpl()
 	net := fab.build(cfg)
 	env := transport.NewEnv(net)
 	env.RTOMin = fab.rtoMin
@@ -83,6 +84,7 @@ func runDynamics(o Options) *Result {
 			Size: f.Size, Arrive: f.Arrive, FirstCall: f.Size})
 	}
 	sum := transport.Run(env, ppt.Proto{Cfg: pcfg}, flows, transport.RunConfig{})
+	o.addEvents(env.Sched().Executed)
 
 	res := &Result{ID: "fig5", Title: "dual-loop rate control dynamics (watched 8MB flow)"}
 	res.Rows = append(res.Rows, Row{Label: "workload", Sum: sum})

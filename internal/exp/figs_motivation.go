@@ -28,15 +28,19 @@ func makeFlows(cfg topo.Config, dist *workload.Dist, pattern workload.Pattern, l
 }
 
 // runOracle runs the two-pass hypothetical DCTCP (§2.3) and returns the
-// second-pass summary.
-func runOracle(fab fabric, flows []transport.SimpleFlow, frac float64) (stats.Summary, *transport.Env) {
+// second-pass summary. Both passes run on o's scheduler implementation
+// and count toward the experiment's event total.
+func runOracle(o Options, fab fabric, flows []transport.SimpleFlow, frac float64) (stats.Summary, *transport.Env) {
+	cfg := fab.cfg
+	cfg.Sched = o.schedImpl()
 	rec := ppt.NewMWRecorder()
-	env1 := transport.NewEnv(fab.build(fab.cfg))
+	env1 := transport.NewEnv(fab.build(cfg))
 	env1.RTOMin = fab.rtoMin
 	transport.Run(env1, rec, flows, transport.RunConfig{})
-	env2 := transport.NewEnv(fab.build(fab.cfg))
+	env2 := transport.NewEnv(fab.build(cfg))
 	env2.RTOMin = fab.rtoMin
 	sum := transport.Run(env2, ppt.Oracle{MW: rec.MW(), FillFraction: frac}, flows, transport.RunConfig{})
+	o.addEvents(env1.Sched().Executed + env2.Sched().Executed)
 	return sum, env2
 }
 
@@ -44,8 +48,10 @@ func runOracle(fab fabric, flows []transport.SimpleFlow, frac float64) (stats.Su
 // the bottleneck downlink every 100µs.
 func utilizationRun(o Options, load float64, proto func(env *transport.Env) transport.Protocol, oracleFrac float64) Row {
 	fab := dumbbellFabric(2, 120_000)
-	flows := makeFlows(fab.cfg, workload.WebSearch, workload.Incast{N: 3, Target: 0}, load, o.Flows, o.Seed)
-	net := fab.build(fab.cfg)
+	cfg := fab.cfg
+	cfg.Sched = o.schedImpl()
+	flows := makeFlows(cfg, workload.WebSearch, workload.Incast{N: 3, Target: 0}, load, o.Flows, o.Seed)
+	net := fab.build(cfg)
 	env := transport.NewEnv(net)
 	env.RTOMin = fab.rtoMin
 	us := stats.SampleUtilization(env.Sched(), net.Switches[0].Port(0), 100*sim.Microsecond)
@@ -56,17 +62,19 @@ func utilizationRun(o Options, load float64, proto func(env *transport.Env) tran
 		// above is replaced by one on the second-pass fabric.
 		rec := ppt.NewMWRecorder()
 		transport.Run(env, rec, flows, transport.RunConfig{})
-		net2 := fab.build(fab.cfg)
+		net2 := fab.build(cfg)
 		env2 := transport.NewEnv(net2)
 		env2.RTOMin = fab.rtoMin
 		us = stats.SampleUtilization(env2.Sched(), net2.Switches[0].Port(0), 100*sim.Microsecond)
 		sum = transport.Run(env2, ppt.Oracle{MW: rec.MW(), FillFraction: oracleFrac}, flows, transport.RunConfig{})
+		o.addEvents(env2.Sched().Executed)
 		label = "hypothetical"
 	} else {
 		p := proto(env)
 		sum = transport.Run(env, p, flows, transport.RunConfig{})
 		label = p.Name()
 	}
+	o.addEvents(env.Sched().Executed)
 	us.Stop()
 	// Steady state: skip the first 10% of samples.
 	n := len(us.Samples)
@@ -112,7 +120,7 @@ func init() {
 			if wantOracle {
 				p.submit("hypothetical", func() {
 					flows := makeFlows(fab.cfg, workload.WebSearch, pattern, 0.5, o.Flows, o.Seed)
-					oracleSum, _ = runOracle(fab, flows, 1.0)
+					oracleSum, _ = runOracle(o, fab, flows, 1.0)
 				})
 			}
 			p.run()
@@ -144,7 +152,7 @@ func init() {
 				label := fmt.Sprintf("fill-%.2fxMW", frac)
 				rows[i] = Row{Label: label}
 				p.submit(label, func() {
-					sum, env := runOracle(fab, flows, frac)
+					sum, env := runOracle(o, fab, flows, frac)
 					var drops int64
 					for _, sp := range env.Net.SwitchPorts() {
 						drops += sp.Stats.Drops

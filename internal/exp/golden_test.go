@@ -36,8 +36,11 @@ var goldenCases = []struct {
 // TestGoldenOutputs is the engine-equivalence guarantee: optimizations
 // to the scheduler, packet pooling, or queueing must not change a single
 // simulated outcome. It renders each case's table and CSV — serially and
-// on the 4-wide worker pool — and requires both to match the checked-in
-// golden output byte for byte.
+// on the 4-wide worker pool, under both the heap and the timing-wheel
+// scheduler — and requires all four runs to match the checked-in golden
+// output byte for byte. The goldens were generated on the original
+// (pre-wheel) heap engine, so this matrix is also the proof that the
+// wheel pops events in exactly the heap's (time, seq) order.
 func TestGoldenOutputs(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs several experiments")
@@ -46,19 +49,30 @@ func TestGoldenOutputs(t *testing.T) {
 		tc := tc
 		t.Run(tc.id, func(t *testing.T) {
 			t.Parallel()
-			render := func(parallel int) string {
+			render := func(parallel int, sched string) string {
 				o := tc.opts
 				o.Parallel = parallel
+				o.Sched = sched
 				res, err := RunByID(tc.id, o)
 				if err != nil {
 					t.Fatal(err)
 				}
 				return res.Render() + "\n--- csv ---\n" + res.CSV()
 			}
-			serial := render(1)
-			par := render(4)
-			if serial != par {
-				t.Fatalf("%s: serial and parallel outputs differ:\n--- serial ---\n%s\n--- parallel ---\n%s", tc.id, serial, par)
+			serial := render(1, "wheel")
+			for _, variant := range []struct {
+				name     string
+				parallel int
+				sched    string
+			}{
+				{"wheel/parallel", 4, "wheel"},
+				{"heap/serial", 1, "heap"},
+				{"heap/parallel", 4, "heap"},
+			} {
+				if got := render(variant.parallel, variant.sched); got != serial {
+					t.Fatalf("%s: %s output differs from wheel/serial:\n--- wheel/serial ---\n%s\n--- %s ---\n%s",
+						tc.id, variant.name, serial, variant.name, got)
+				}
 			}
 			path := filepath.Join("testdata", "golden_"+tc.id+".txt")
 			if *updateGolden {

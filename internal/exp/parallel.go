@@ -88,6 +88,7 @@ func (p *pool) submit(label string, fn func()) *poolJob {
 // valid after run().
 func (p *pool) submitSpec(label string, spec runSpec) *cellOut {
 	out := &cellOut{}
+	spec.sched = p.opts.schedImpl()
 	events := p.opts.events
 	out.job = p.submit(label, func() {
 		out.sum, out.env = execute(spec)

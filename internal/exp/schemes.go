@@ -185,12 +185,16 @@ type runSpec struct {
 	// and LCP reach (0 = unbounded / 2GB).
 	sendBuf int64
 	app     bufaware.AppModel
+	// sched is the event-queue implementation for this cell's scheduler
+	// (from Options.Sched; zero value = wheel).
+	sched sim.Impl
 }
 
 // execute builds the fabric, generates flows, and runs to completion,
 // returning the summary and the environment for extra metrics.
 func execute(spec runSpec) (stats.Summary, *transport.Env) {
 	cfg := spec.fab.cfg
+	cfg.Sched = spec.sched
 	if spec.sc.tweak != nil {
 		spec.sc.tweak(&cfg)
 	}

@@ -15,10 +15,15 @@ type Endpoint interface {
 
 // endpointKey demuxes by flow and direction: a flow's sender and receiver
 // live on different hosts, but a host can terminate both roles of
-// different flows concurrently.
-type endpointKey struct {
-	flow     uint32
-	receiver bool
+// different flows concurrently. Packed into a uint64 (flow<<1 | dir) so
+// the per-packet delivery lookup takes the runtime's fast fixed-64 map
+// path instead of a hash-function call.
+func endpointKey(flow uint32, receiver bool) uint64 {
+	k := uint64(flow) << 1
+	if receiver {
+		k |= 1
+	}
+	return k
 }
 
 // Host is an end system: a NIC egress port plus a per-flow endpoint
@@ -30,7 +35,7 @@ type Host struct {
 	nic   *Port
 	pool  *PacketPool
 
-	endpoints map[endpointKey]Endpoint
+	endpoints map[uint64]Endpoint
 
 	// Delivered counts payload bytes handed to receiver endpoints
 	// (including duplicates), for transfer-efficiency accounting.
@@ -49,7 +54,7 @@ func NewHost(id int32, s *sim.Scheduler) *Host {
 		id:        id,
 		name:      fmt.Sprintf("h%d", id),
 		sched:     s,
-		endpoints: make(map[endpointKey]Endpoint),
+		endpoints: make(map[uint64]Endpoint),
 	}
 }
 
@@ -97,7 +102,7 @@ func (h *Host) Rate() Rate { return h.nic.Config().Rate }
 // Bind registers an endpoint for one direction of a flow. Binding the
 // same key twice is a programming error.
 func (h *Host) Bind(flow uint32, receiver bool, ep Endpoint) {
-	k := endpointKey{flow, receiver}
+	k := endpointKey(flow, receiver)
 	if _, dup := h.endpoints[k]; dup {
 		panic(fmt.Sprintf("netsim: host %s: duplicate endpoint for flow %d (receiver=%v)", h.name, flow, receiver))
 	}
@@ -106,7 +111,7 @@ func (h *Host) Bind(flow uint32, receiver bool, ep Endpoint) {
 
 // Unbind removes a flow endpoint (called when a flow completes).
 func (h *Host) Unbind(flow uint32, receiver bool) {
-	delete(h.endpoints, endpointKey{flow, receiver})
+	delete(h.endpoints, endpointKey(flow, receiver))
 }
 
 // Send stamps and enqueues a packet on the NIC.
@@ -132,7 +137,7 @@ func (h *Host) Receive(pkt *Packet) {
 	if pkt.Kind == Data {
 		h.Delivered += int64(pkt.PayloadLen)
 	}
-	ep := h.endpoints[endpointKey{pkt.FlowID, pkt.Kind.ToReceiver()}]
+	ep := h.endpoints[endpointKey(pkt.FlowID, pkt.Kind.ToReceiver())]
 	if ep == nil {
 		if pkt.Kind == Data {
 			h.Orphans += int64(pkt.PayloadLen)

@@ -1,0 +1,102 @@
+package sim
+
+// 4-ary indexed min-heap over slot ids, ordered by (at, seq). The heap
+// holds indices into s.events; each resident slot's where field mirrors
+// its heap position so Stop can remove it in O(log n) without a search.
+// A 4-ary layout halves tree depth versus binary and keeps the four
+// children in one cache line, which measures faster than binary for the
+// sift-down-heavy pop workload of a simulation.
+
+// less orders slots by firing time, then by scheduling order. The seq
+// tie-break is what makes same-time events FIFO — protocol code relies
+// on it (e.g. an ACK enqueued before a timeout at the same instant must
+// be processed first).
+func (s *Scheduler) less(a, b int32) bool {
+	ea, eb := &s.events[a], &s.events[b]
+	if ea.at != eb.at {
+		return ea.at < eb.at
+	}
+	return ea.seq < eb.seq
+}
+
+// heapInsert appends slot and restores the heap invariant.
+func (s *Scheduler) heapInsert(slot int32) {
+	s.events[slot].where = int32(len(s.heap))
+	s.heap = append(s.heap, slot)
+	s.siftUp(len(s.heap) - 1)
+}
+
+// heapNext pops the minimum (time, seq) slot if it is due by deadline.
+// The popped slot is out of the heap but not yet released.
+func (s *Scheduler) heapNext(deadline Time) (int32, bool) {
+	if len(s.heap) == 0 {
+		return 0, false
+	}
+	slot := s.heap[0]
+	if s.events[slot].at > deadline {
+		return 0, false
+	}
+	last := len(s.heap) - 1
+	s.heap[0] = s.heap[last]
+	s.events[s.heap[0]].where = 0
+	s.heap = s.heap[:last]
+	if last > 0 {
+		s.siftDown(0)
+	}
+	return slot, true
+}
+
+// heapRemoveAt deletes the element at heap index i (for Stop). The
+// replacement may need to move either direction, so try both sifts.
+func (s *Scheduler) heapRemoveAt(i int) {
+	last := len(s.heap) - 1
+	if i != last {
+		s.heap[i] = s.heap[last]
+		s.events[s.heap[i]].where = int32(i)
+	}
+	s.heap = s.heap[:last]
+	if i < last {
+		s.siftDown(i)
+		s.siftUp(i)
+	}
+}
+
+func (s *Scheduler) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !s.less(s.heap[i], s.heap[parent]) {
+			break
+		}
+		s.heap[i], s.heap[parent] = s.heap[parent], s.heap[i]
+		s.events[s.heap[i]].where = int32(i)
+		s.events[s.heap[parent]].where = int32(parent)
+		i = parent
+	}
+}
+
+func (s *Scheduler) siftDown(i int) {
+	n := len(s.heap)
+	for {
+		first := 4*i + 1
+		if first >= n {
+			return
+		}
+		min := first
+		end := first + 4
+		if end > n {
+			end = n
+		}
+		for c := first + 1; c < end; c++ {
+			if s.less(s.heap[c], s.heap[min]) {
+				min = c
+			}
+		}
+		if !s.less(s.heap[min], s.heap[i]) {
+			return
+		}
+		s.heap[i], s.heap[min] = s.heap[min], s.heap[i]
+		s.events[s.heap[i]].where = int32(i)
+		s.events[s.heap[min]].where = int32(min)
+		i = min
+	}
+}

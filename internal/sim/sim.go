@@ -9,12 +9,17 @@
 // tests assert on exact event orderings.
 //
 // The hot path is allocation-free in steady state. Events live inline in
-// a slot array owned by the scheduler, ordered by a hand-rolled 4-ary
-// indexed min-heap of slot ids, and fired or cancelled slots are recycled
-// through a freelist. Timers are generation-stamped value handles, so a
-// stale handle to a reused slot can never cancel someone else's event.
-// Pop order is fully determined by the strict (time, seq) total order, so
-// the heap's internal shape never affects simulated outcomes.
+// a slot array owned by the scheduler; fired or cancelled slots are
+// recycled through a freelist, and Timers are generation-stamped value
+// handles, so a stale handle to a reused slot can never cancel someone
+// else's event. Two interchangeable queue implementations order the
+// pending events — a hierarchical timing wheel (the default; amortized
+// O(1) schedule and pop, see wheel.go) and a 4-ary indexed min-heap
+// (O(log n), see heap.go) — selected per scheduler at construction.
+// Pop order is fully determined by the strict (time, seq) total order,
+// so the queue's internal shape never affects simulated outcomes; the
+// two implementations are asserted pop-for-pop identical by a
+// randomized differential test.
 package sim
 
 import (
@@ -60,18 +65,59 @@ func (t Time) String() string {
 	}
 }
 
+// Impl selects the pending-event queue implementation of a Scheduler.
+type Impl uint8
+
+const (
+	// Wheel is the hierarchical timing wheel: 8 levels of 256
+	// power-of-two buckets over the picosecond clock, amortized-O(1)
+	// schedule/stop/pop with batched same-tick dispatch. The default.
+	Wheel Impl = iota
+	// Heap is the 4-ary indexed min-heap: O(log n) schedule and pop.
+	// Kept selectable so goldens and benches can A/B both engines.
+	Heap
+)
+
+func (i Impl) String() string {
+	switch i {
+	case Wheel:
+		return "wheel"
+	case Heap:
+		return "heap"
+	}
+	return fmt.Sprintf("Impl(%d)", uint8(i))
+}
+
+// ParseImpl maps a -sched flag value to an Impl. The empty string means
+// the default (wheel).
+func ParseImpl(s string) (Impl, error) {
+	switch s {
+	case "", "wheel":
+		return Wheel, nil
+	case "heap":
+		return Heap, nil
+	}
+	return Wheel, fmt.Errorf("sim: unknown scheduler %q (want heap or wheel)", s)
+}
+
 // event is a scheduled callback, stored inline in the scheduler's slot
 // array. seq breaks ties so that events scheduled earlier run earlier
 // when their firing times are equal (FIFO semantics), which downstream
 // protocol code depends on for determinism. gen distinguishes the slot's
-// current occupant from stale Timer handles; heapIdx is the slot's
-// position in the heap, or -1 while the slot is free.
+// current occupant from stale Timer handles.
+//
+// where is the slot's position in the queue implementation — the heap
+// index for Heap, the bucket id for Wheel — or -1 while the slot is
+// free. prev/next thread the wheel's intrusive bucket lists through the
+// slot array and are unused by the heap.
 type event struct {
-	at      Time
-	seq     uint64
-	fn      func()
-	gen     uint32
-	heapIdx int32
+	at    Time
+	seq   uint64
+	fn    func()
+	gen   uint32
+	where int32
+	prev  int32
+	next  int32
 }
 
 // Scheduler owns the simulated clock and the pending-event queue.
@@ -80,9 +126,13 @@ type Scheduler struct {
 	now     Time
 	seq     uint64
 	events  []event // slot storage; index = Timer.slot
-	heap    []int32 // 4-ary min-heap of occupied slot ids
 	free    []int32 // LIFO freelist of vacant slot ids
 	stopped bool
+	impl    Impl
+
+	heap  []int32     // Heap: 4-ary min-heap of occupied slot ids
+	wheel *wheelState // Wheel: hierarchical timing wheel
+
 	// Executed counts events run so far; useful as a cheap progress and
 	// runaway-simulation guard in experiments.
 	Executed uint64
@@ -90,84 +140,27 @@ type Scheduler struct {
 	Limit uint64
 }
 
-// NewScheduler returns an empty scheduler with the clock at zero.
+// NewScheduler returns an empty scheduler with the clock at zero,
+// using the default (timing wheel) queue.
 func NewScheduler() *Scheduler {
-	return &Scheduler{}
+	return NewSchedulerImpl(Wheel)
 }
+
+// NewSchedulerImpl returns an empty scheduler using the given queue
+// implementation.
+func NewSchedulerImpl(impl Impl) *Scheduler {
+	s := &Scheduler{impl: impl}
+	if impl == Wheel {
+		s.wheel = newWheelState()
+	}
+	return s
+}
+
+// Impl reports which queue implementation this scheduler uses.
+func (s *Scheduler) Impl() Impl { return s.impl }
 
 // Now reports the current simulated time.
 func (s *Scheduler) Now() Time { return s.now }
-
-// less orders slots by (time, seq); a strict total order, so pop order is
-// independent of heap shape.
-func (s *Scheduler) less(a, b int32) bool {
-	ea, eb := &s.events[a], &s.events[b]
-	if ea.at != eb.at {
-		return ea.at < eb.at
-	}
-	return ea.seq < eb.seq
-}
-
-// siftUp restores the heap property upward from position i.
-func (s *Scheduler) siftUp(i int) {
-	slot := s.heap[i]
-	for i > 0 {
-		parent := (i - 1) / 4
-		if !s.less(slot, s.heap[parent]) {
-			break
-		}
-		s.heap[i] = s.heap[parent]
-		s.events[s.heap[i]].heapIdx = int32(i)
-		i = parent
-	}
-	s.heap[i] = slot
-	s.events[slot].heapIdx = int32(i)
-}
-
-// siftDown restores the heap property downward from position i.
-func (s *Scheduler) siftDown(i int) {
-	n := len(s.heap)
-	slot := s.heap[i]
-	for {
-		first := 4*i + 1
-		if first >= n {
-			break
-		}
-		best := first
-		last := first + 4
-		if last > n {
-			last = n
-		}
-		for c := first + 1; c < last; c++ {
-			if s.less(s.heap[c], s.heap[best]) {
-				best = c
-			}
-		}
-		if !s.less(s.heap[best], slot) {
-			break
-		}
-		s.heap[i] = s.heap[best]
-		s.events[s.heap[i]].heapIdx = int32(i)
-		i = best
-	}
-	s.heap[i] = slot
-	s.events[slot].heapIdx = int32(i)
-}
-
-// removeAt takes the heap entry at position i out of the heap.
-func (s *Scheduler) removeAt(i int) {
-	n := len(s.heap) - 1
-	last := s.heap[n]
-	s.heap = s.heap[:n]
-	if i < n {
-		s.heap[i] = last
-		s.events[last].heapIdx = int32(i)
-		// The replacement may need to move either way; each call is a
-		// no-op when the property already holds in that direction.
-		s.siftDown(i)
-		s.siftUp(i)
-	}
-}
 
 // release retires a fired or cancelled slot: the generation bump
 // invalidates every outstanding Timer handle, and dropping fn releases
@@ -177,15 +170,20 @@ func (s *Scheduler) release(slot int32) {
 	e := &s.events[slot]
 	e.fn = nil
 	e.gen++
-	e.heapIdx = -1
+	e.where = -1
 	s.free = append(s.free, slot)
 }
 
 // At schedules fn to run at absolute time t. Scheduling in the past is a
 // programming error and panics: silently reordering time would corrupt
-// every protocol invariant built above the engine.
+// every protocol invariant built above the engine. A negative t is the
+// signature of int64 overflow past MaxTime and panics with a message
+// saying so.
 func (s *Scheduler) At(t Time, fn func()) Timer {
 	if t < s.now {
+		if t < 0 {
+			panic(fmt.Sprintf("sim: scheduling at negative time %dps — int64 overflow past MaxTime?", int64(t)))
+		}
 		panic(fmt.Sprintf("sim: scheduling at %v before now %v", t, s.now))
 	}
 	var slot int32
@@ -202,19 +200,28 @@ func (s *Scheduler) At(t Time, fn func()) Timer {
 	e.seq = s.seq
 	e.fn = fn
 	s.seq++
-	s.heap = append(s.heap, slot)
-	s.siftUp(len(s.heap) - 1)
+	if s.impl == Heap {
+		s.heapInsert(slot)
+	} else {
+		s.wheelInsert(slot, t)
+	}
 	return Timer{s: s, slot: slot, gen: e.gen}
 }
 
 // After schedules fn to run d from now. A negative duration is a
 // programming error and panics, exactly like At with a past time: the
-// engine refuses to reorder time on the caller's behalf.
+// engine refuses to reorder time on the caller's behalf. A duration
+// that would carry the clock past MaxTime panics instead of silently
+// wrapping the int64 picosecond clock.
 func (s *Scheduler) After(d Time, fn func()) Timer {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: scheduling %v in the past (negative duration)", d))
 	}
-	return s.At(s.now+d, fn)
+	t := s.now + d
+	if t < s.now {
+		panic(fmt.Sprintf("sim: now %v + %dps overflows MaxTime (the clock is int64 picoseconds); cap the duration before scheduling", s.now, int64(d)))
+	}
+	return s.At(t, fn)
 }
 
 // Timer is a generation-stamped handle to a scheduled event. It is a
@@ -235,10 +242,14 @@ func (t Timer) Stop() bool {
 		return false
 	}
 	e := &t.s.events[t.slot]
-	if e.gen != t.gen || e.heapIdx < 0 {
+	if e.gen != t.gen || e.where < 0 {
 		return false
 	}
-	t.s.removeAt(int(e.heapIdx))
+	if t.s.impl == Heap {
+		t.s.heapRemoveAt(int(e.where))
+	} else {
+		t.s.wheelUnlink(t.slot)
+	}
 	t.s.release(t.slot)
 	return true
 }
@@ -249,14 +260,19 @@ func (t Timer) Pending() bool {
 		return false
 	}
 	e := &t.s.events[t.slot]
-	return e.gen == t.gen && e.heapIdx >= 0
+	return e.gen == t.gen && e.where >= 0
 }
 
 // Stop halts Run after the currently executing event returns.
 func (s *Scheduler) Stop() { s.stopped = true }
 
 // Pending reports the number of queued events.
-func (s *Scheduler) Pending() int { return len(s.heap) }
+func (s *Scheduler) Pending() int {
+	if s.impl == Heap {
+		return len(s.heap)
+	}
+	return s.wheel.count
+}
 
 // Run executes events in timestamp order until the queue drains, Stop is
 // called, or the event Limit is hit. It reports the number of events run.
@@ -266,28 +282,30 @@ func (s *Scheduler) Run() uint64 {
 
 // RunUntil executes events with timestamps <= deadline. The clock is left
 // at the last executed event's time (or at the deadline if that is later
-// and events remain).
+// and no events remain).
 func (s *Scheduler) RunUntil(deadline Time) uint64 {
 	start := s.Executed
 	s.stopped = false
-	for len(s.heap) > 0 && !s.stopped {
-		slot := s.heap[0]
-		e := &s.events[slot]
-		if e.at > deadline {
+	for !s.stopped {
+		// next pops the earliest (time, seq) event not after the
+		// deadline, or reports that none qualifies. The slot is already
+		// out of the queue but not yet released.
+		var slot int32
+		var ok bool
+		if s.impl == Heap {
+			slot, ok = s.heapNext(deadline)
+		} else {
+			slot, ok = s.wheelNext(deadline)
+		}
+		if !ok {
 			break
 		}
+		e := &s.events[slot]
 		fn := e.fn
 		s.now = e.at
 		// Retire the slot before running fn so the callback observes its
 		// own timer as no longer pending and the slot is free for reuse
 		// by whatever fn schedules.
-		n := len(s.heap) - 1
-		last := s.heap[n]
-		s.heap = s.heap[:n]
-		if n > 0 {
-			s.heap[0] = last
-			s.siftDown(0)
-		}
 		s.release(slot)
 		s.Executed++
 		fn()
@@ -295,7 +313,7 @@ func (s *Scheduler) RunUntil(deadline Time) uint64 {
 			break
 		}
 	}
-	if deadline != MaxTime && s.now < deadline && len(s.heap) == 0 {
+	if deadline != MaxTime && s.now < deadline && s.Pending() == 0 {
 		s.now = deadline
 	}
 	return s.Executed - start

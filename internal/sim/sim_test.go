@@ -7,6 +7,18 @@ import (
 	"testing/quick"
 )
 
+// forEachImpl runs a scheduler-behavior test under both queue
+// implementations. The engine contract is identical for heap and wheel,
+// so every behavioral test in this file asserts on both.
+func forEachImpl(t *testing.T, f func(t *testing.T, newSched func() *Scheduler)) {
+	for _, impl := range []Impl{Heap, Wheel} {
+		impl := impl
+		t.Run(impl.String(), func(t *testing.T) {
+			f(t, func() *Scheduler { return NewSchedulerImpl(impl) })
+		})
+	}
+}
+
 func TestTimeUnits(t *testing.T) {
 	if Second != 1_000_000_000_000*Picosecond {
 		t.Fatalf("second = %d ps", int64(Second))
@@ -39,220 +51,295 @@ func TestTimeString(t *testing.T) {
 	}
 }
 
-func TestRunOrdering(t *testing.T) {
-	s := NewScheduler()
-	var got []int
-	s.At(30*Nanosecond, func() { got = append(got, 3) })
-	s.At(10*Nanosecond, func() { got = append(got, 1) })
-	s.At(20*Nanosecond, func() { got = append(got, 2) })
-	s.Run()
-	want := []int{1, 2, 3}
-	for i := range want {
-		if got[i] != want[i] {
-			t.Fatalf("order = %v, want %v", got, want)
+func TestParseImpl(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Impl
+		ok   bool
+	}{
+		{"", Wheel, true},
+		{"wheel", Wheel, true},
+		{"heap", Heap, true},
+		{"btree", Wheel, false},
+	}
+	for _, c := range cases {
+		got, err := ParseImpl(c.in)
+		if (err == nil) != c.ok || got != c.want {
+			t.Errorf("ParseImpl(%q) = %v, %v", c.in, got, err)
 		}
 	}
-	if s.Now() != 30*Nanosecond {
-		t.Fatalf("now = %v", s.Now())
+	if NewScheduler().Impl() != Wheel {
+		t.Error("NewScheduler default is not the wheel")
 	}
+}
+
+func TestRunOrdering(t *testing.T) {
+	forEachImpl(t, func(t *testing.T, newSched func() *Scheduler) {
+		s := newSched()
+		var got []int
+		s.At(30*Nanosecond, func() { got = append(got, 3) })
+		s.At(10*Nanosecond, func() { got = append(got, 1) })
+		s.At(20*Nanosecond, func() { got = append(got, 2) })
+		s.Run()
+		want := []int{1, 2, 3}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("order = %v, want %v", got, want)
+			}
+		}
+		if s.Now() != 30*Nanosecond {
+			t.Fatalf("now = %v", s.Now())
+		}
+	})
 }
 
 func TestFIFOTieBreak(t *testing.T) {
-	s := NewScheduler()
-	var got []int
-	for i := 0; i < 10; i++ {
-		i := i
-		s.At(5*Nanosecond, func() { got = append(got, i) })
-	}
-	s.Run()
-	if !sort.IntsAreSorted(got) {
-		t.Fatalf("same-time events ran out of order: %v", got)
-	}
+	forEachImpl(t, func(t *testing.T, newSched func() *Scheduler) {
+		s := newSched()
+		var got []int
+		for i := 0; i < 10; i++ {
+			i := i
+			s.At(5*Nanosecond, func() { got = append(got, i) })
+		}
+		s.Run()
+		if !sort.IntsAreSorted(got) {
+			t.Fatalf("same-time events ran out of order: %v", got)
+		}
+	})
 }
 
 func TestAfterFromWithinEvent(t *testing.T) {
-	s := NewScheduler()
-	var fired Time
-	s.At(10*Nanosecond, func() {
-		s.After(5*Nanosecond, func() { fired = s.Now() })
+	forEachImpl(t, func(t *testing.T, newSched func() *Scheduler) {
+		s := newSched()
+		var fired Time
+		s.At(10*Nanosecond, func() {
+			s.After(5*Nanosecond, func() { fired = s.Now() })
+		})
+		s.Run()
+		if fired != 15*Nanosecond {
+			t.Fatalf("nested After fired at %v", fired)
+		}
 	})
-	s.Run()
-	if fired != 15*Nanosecond {
-		t.Fatalf("nested After fired at %v", fired)
-	}
 }
 
 func TestSchedulePastPanics(t *testing.T) {
-	s := NewScheduler()
-	s.At(10*Nanosecond, func() {
-		defer func() {
-			if recover() == nil {
-				t.Error("scheduling in the past did not panic")
-			}
-		}()
-		s.At(5*Nanosecond, func() {})
+	forEachImpl(t, func(t *testing.T, newSched func() *Scheduler) {
+		s := newSched()
+		s.At(10*Nanosecond, func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("scheduling in the past did not panic")
+				}
+			}()
+			s.At(5*Nanosecond, func() {})
+		})
+		s.Run()
 	})
-	s.Run()
 }
 
 func TestNegativeAfterPanics(t *testing.T) {
-	s := NewScheduler()
-	defer func() {
-		if recover() == nil {
-			t.Error("negative After did not panic")
+	forEachImpl(t, func(t *testing.T, newSched func() *Scheduler) {
+		s := newSched()
+		defer func() {
+			if recover() == nil {
+				t.Error("negative After did not panic")
+			}
+		}()
+		s.After(-5*Nanosecond, func() {})
+	})
+}
+
+// After past MaxTime must panic loudly rather than wrap the int64 clock
+// into the past and corrupt event order.
+func TestAfterOverflowPanics(t *testing.T) {
+	forEachImpl(t, func(t *testing.T, newSched func() *Scheduler) {
+		s := newSched()
+		s.At(Second, func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("After past MaxTime did not panic")
+				}
+			}()
+			s.After(MaxTime, func() {})
+		})
+		s.Run()
+		// The boundary itself is schedulable.
+		fired := false
+		tm := s.At(MaxTime, func() { fired = true })
+		if !tm.Pending() {
+			t.Fatal("MaxTime timer not pending")
 		}
-	}()
-	s.After(-5*Nanosecond, func() {})
+		s.Run()
+		if !fired {
+			t.Fatal("MaxTime timer never fired")
+		}
+	})
 }
 
 func TestTimerStop(t *testing.T) {
-	s := NewScheduler()
-	ran := false
-	tm := s.After(10*Nanosecond, func() { ran = true })
-	if !tm.Pending() {
-		t.Fatal("timer should be pending")
-	}
-	if !tm.Stop() {
-		t.Fatal("Stop returned false for pending timer")
-	}
-	if tm.Stop() {
-		t.Fatal("second Stop returned true")
-	}
-	s.Run()
-	if ran {
-		t.Fatal("stopped timer fired")
-	}
+	forEachImpl(t, func(t *testing.T, newSched func() *Scheduler) {
+		s := newSched()
+		ran := false
+		tm := s.After(10*Nanosecond, func() { ran = true })
+		if !tm.Pending() {
+			t.Fatal("timer should be pending")
+		}
+		if !tm.Stop() {
+			t.Fatal("Stop returned false for pending timer")
+		}
+		if tm.Stop() {
+			t.Fatal("second Stop returned true")
+		}
+		s.Run()
+		if ran {
+			t.Fatal("stopped timer fired")
+		}
+	})
 }
 
 func TestTimerStopAfterFire(t *testing.T) {
-	s := NewScheduler()
-	tm := s.After(1*Nanosecond, func() {})
-	s.Run()
-	if tm.Pending() {
-		t.Fatal("fired timer still pending")
-	}
-	if tm.Stop() {
-		t.Fatal("Stop on fired timer returned true")
-	}
+	forEachImpl(t, func(t *testing.T, newSched func() *Scheduler) {
+		s := newSched()
+		tm := s.After(1*Nanosecond, func() {})
+		s.Run()
+		if tm.Pending() {
+			t.Fatal("fired timer still pending")
+		}
+		if tm.Stop() {
+			t.Fatal("Stop on fired timer returned true")
+		}
+	})
 }
 
 func TestStopHaltsRun(t *testing.T) {
-	s := NewScheduler()
-	var count int
-	for i := 1; i <= 10; i++ {
-		s.At(Time(i)*Nanosecond, func() {
-			count++
-			if count == 3 {
-				s.Stop()
-			}
-		})
-	}
-	s.Run()
-	if count != 3 {
-		t.Fatalf("ran %d events after Stop, want 3", count)
-	}
-	if s.Pending() != 7 {
-		t.Fatalf("pending = %d, want 7", s.Pending())
-	}
+	forEachImpl(t, func(t *testing.T, newSched func() *Scheduler) {
+		s := newSched()
+		var count int
+		for i := 1; i <= 10; i++ {
+			s.At(Time(i)*Nanosecond, func() {
+				count++
+				if count == 3 {
+					s.Stop()
+				}
+			})
+		}
+		s.Run()
+		if count != 3 {
+			t.Fatalf("ran %d events after Stop, want 3", count)
+		}
+		if s.Pending() != 7 {
+			t.Fatalf("pending = %d, want 7", s.Pending())
+		}
+	})
 }
 
 func TestRunUntil(t *testing.T) {
-	s := NewScheduler()
-	var count int
-	for i := 1; i <= 10; i++ {
-		s.At(Time(i)*Microsecond, func() { count++ })
-	}
-	n := s.RunUntil(5 * Microsecond)
-	if n != 5 || count != 5 {
-		t.Fatalf("ran %d/%d events, want 5", n, count)
-	}
-	if s.Now() != 5*Microsecond {
-		t.Fatalf("now = %v", s.Now())
-	}
-	s.Run()
-	if count != 10 {
-		t.Fatalf("total = %d, want 10", count)
-	}
+	forEachImpl(t, func(t *testing.T, newSched func() *Scheduler) {
+		s := newSched()
+		var count int
+		for i := 1; i <= 10; i++ {
+			s.At(Time(i)*Microsecond, func() { count++ })
+		}
+		n := s.RunUntil(5 * Microsecond)
+		if n != 5 || count != 5 {
+			t.Fatalf("ran %d/%d events, want 5", n, count)
+		}
+		if s.Now() != 5*Microsecond {
+			t.Fatalf("now = %v", s.Now())
+		}
+		s.Run()
+		if count != 10 {
+			t.Fatalf("total = %d, want 10", count)
+		}
+	})
 }
 
 func TestRunUntilAdvancesClockWhenIdle(t *testing.T) {
-	s := NewScheduler()
-	s.RunUntil(3 * Millisecond)
-	if s.Now() != 3*Millisecond {
-		t.Fatalf("idle RunUntil left clock at %v", s.Now())
-	}
+	forEachImpl(t, func(t *testing.T, newSched func() *Scheduler) {
+		s := newSched()
+		s.RunUntil(3 * Millisecond)
+		if s.Now() != 3*Millisecond {
+			t.Fatalf("idle RunUntil left clock at %v", s.Now())
+		}
+	})
 }
 
 func TestEventLimit(t *testing.T) {
-	s := NewScheduler()
-	s.Limit = 4
-	var count int
-	for i := 1; i <= 10; i++ {
-		s.At(Time(i)*Nanosecond, func() { count++ })
-	}
-	s.Run()
-	if count != 4 {
-		t.Fatalf("limit ignored: ran %d", count)
-	}
+	forEachImpl(t, func(t *testing.T, newSched func() *Scheduler) {
+		s := newSched()
+		s.Limit = 4
+		var count int
+		for i := 1; i <= 10; i++ {
+			s.At(Time(i)*Nanosecond, func() { count++ })
+		}
+		s.Run()
+		if count != 4 {
+			t.Fatalf("limit ignored: ran %d", count)
+		}
+	})
 }
 
 // Property: for any set of delays, events execute in nondecreasing time
 // order and the executed count matches the scheduled count.
 func TestPropertyOrdering(t *testing.T) {
-	prop := func(delays []uint16) bool {
-		if len(delays) == 0 {
-			return true
-		}
-		s := NewScheduler()
-		var times []Time
-		for _, d := range delays {
-			s.After(Time(d)*Nanosecond, func() { times = append(times, s.Now()) })
-		}
-		s.Run()
-		if len(times) != len(delays) {
-			return false
-		}
-		for i := 1; i < len(times); i++ {
-			if times[i] < times[i-1] {
+	forEachImpl(t, func(t *testing.T, newSched func() *Scheduler) {
+		prop := func(delays []uint16) bool {
+			if len(delays) == 0 {
+				return true
+			}
+			s := newSched()
+			var times []Time
+			for _, d := range delays {
+				s.After(Time(d)*Nanosecond, func() { times = append(times, s.Now()) })
+			}
+			s.Run()
+			if len(times) != len(delays) {
 				return false
 			}
+			for i := 1; i < len(times); i++ {
+				if times[i] < times[i-1] {
+					return false
+				}
+			}
+			return true
 		}
-		return true
-	}
-	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
-		t.Fatal(err)
-	}
+		if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+			t.Fatal(err)
+		}
+	})
 }
 
 // Property: cancelling a random subset of timers fires exactly the others.
 func TestPropertyCancellation(t *testing.T) {
-	prop := func(seed int64, n uint8) bool {
-		rng := rand.New(rand.NewSource(seed))
-		s := NewScheduler()
-		total := int(n%64) + 1
-		fired := make([]bool, total)
-		timers := make([]Timer, total)
-		for i := 0; i < total; i++ {
-			i := i
-			timers[i] = s.After(Time(rng.Intn(1000))*Nanosecond, func() { fired[i] = true })
-		}
-		cancelled := make([]bool, total)
-		for i := 0; i < total; i++ {
-			if rng.Intn(2) == 0 {
-				cancelled[i] = timers[i].Stop()
+	forEachImpl(t, func(t *testing.T, newSched func() *Scheduler) {
+		prop := func(seed int64, n uint8) bool {
+			rng := rand.New(rand.NewSource(seed))
+			s := newSched()
+			total := int(n%64) + 1
+			fired := make([]bool, total)
+			timers := make([]Timer, total)
+			for i := 0; i < total; i++ {
+				i := i
+				timers[i] = s.After(Time(rng.Intn(1000))*Nanosecond, func() { fired[i] = true })
 			}
-		}
-		s.Run()
-		for i := 0; i < total; i++ {
-			if fired[i] == cancelled[i] {
-				return false
+			cancelled := make([]bool, total)
+			for i := 0; i < total; i++ {
+				if rng.Intn(2) == 0 {
+					cancelled[i] = timers[i].Stop()
+				}
 			}
+			s.Run()
+			for i := 0; i < total; i++ {
+				if fired[i] == cancelled[i] {
+					return false
+				}
+			}
+			return true
 		}
-		return true
-	}
-	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
-		t.Fatal(err)
-	}
+		if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+			t.Fatal(err)
+		}
+	})
 }
 
 // A zero Timer must behave like a long-dead one: not pending, Stop is a
@@ -270,121 +357,136 @@ func TestZeroTimer(t *testing.T) {
 // A handle from a fired event must stay dead after its slot is recycled:
 // stopping it must not cancel the slot's new occupant.
 func TestStaleHandleAfterSlotReuse(t *testing.T) {
-	s := NewScheduler()
-	stale := s.After(1*Nanosecond, func() {})
-	s.Run()
-	// The freelist is LIFO and empty, so this reuses stale's slot.
-	ran := false
-	fresh := s.After(1*Nanosecond, func() { ran = true })
-	if stale.Pending() {
-		t.Fatal("stale handle reports pending after slot reuse")
-	}
-	if stale.Stop() {
-		t.Fatal("stale handle stopped the slot's new occupant")
-	}
-	if !fresh.Pending() {
-		t.Fatal("fresh timer lost")
-	}
-	s.Run()
-	if !ran {
-		t.Fatal("fresh timer never fired")
-	}
+	forEachImpl(t, func(t *testing.T, newSched func() *Scheduler) {
+		s := newSched()
+		stale := s.After(1*Nanosecond, func() {})
+		s.Run()
+		// The freelist is LIFO and empty, so this reuses stale's slot.
+		ran := false
+		fresh := s.After(1*Nanosecond, func() { ran = true })
+		if stale.Pending() {
+			t.Fatal("stale handle reports pending after slot reuse")
+		}
+		if stale.Stop() {
+			t.Fatal("stale handle stopped the slot's new occupant")
+		}
+		if !fresh.Pending() {
+			t.Fatal("fresh timer lost")
+		}
+		s.Run()
+		if !ran {
+			t.Fatal("fresh timer never fired")
+		}
+	})
 }
 
 // Same-time events must run in scheduling order even when cancellations
-// in between force heap rebuilds (removeAt sift-down/sift-up churn).
+// in between force index churn (heap rebuilds, wheel bucket unlinks).
 func TestFIFOTieBreakAcrossHeapRebuilds(t *testing.T) {
-	s := NewScheduler()
-	var got []int
-	var victims []Timer
-	for round := 0; round < 5; round++ {
-		for i := 0; i < 8; i++ {
-			id := round*8 + i
-			s.At(5*Nanosecond, func() { got = append(got, id) })
-			// Interleave far-future victims whose removal reshapes the heap.
-			victims = append(victims, s.At(Time(100+id)*Nanosecond, func() {
-				t.Errorf("victim %d fired", id)
-			}))
+	forEachImpl(t, func(t *testing.T, newSched func() *Scheduler) {
+		s := newSched()
+		var got []int
+		var victims []Timer
+		for round := 0; round < 5; round++ {
+			for i := 0; i < 8; i++ {
+				id := round*8 + i
+				s.At(5*Nanosecond, func() { got = append(got, id) })
+				// Interleave far-future victims whose removal reshapes the index.
+				victims = append(victims, s.At(Time(100+id)*Nanosecond, func() {
+					t.Errorf("victim %d fired", id)
+				}))
+			}
+			// Cancel the odd victims now, while the tied events are queued.
+			for i := len(victims) - 1; i >= 0; i -= 2 {
+				victims[i].Stop()
+			}
 		}
-		// Cancel the odd victims now, while the tied events are queued.
-		for i := len(victims) - 1; i >= 0; i -= 2 {
-			victims[i].Stop()
+		for _, v := range victims {
+			v.Stop()
 		}
-	}
-	for _, v := range victims {
-		v.Stop()
-	}
-	s.Run()
-	if len(got) != 40 || !sort.IntsAreSorted(got) {
-		t.Fatalf("tied events ran out of order after rebuilds: %v", got)
-	}
+		s.Run()
+		if len(got) != 40 || !sort.IntsAreSorted(got) {
+			t.Fatalf("tied events ran out of order after rebuilds: %v", got)
+		}
+	})
 }
 
 // When Limit truncates a RunUntil mid-deadline, the clock must stay at
 // the last executed event, not jump to the deadline: events remain.
 func TestRunUntilLimitClockPlacement(t *testing.T) {
-	s := NewScheduler()
-	s.Limit = 3
-	for i := 1; i <= 10; i++ {
-		s.At(Time(i)*Microsecond, func() {})
-	}
-	s.RunUntil(8 * Microsecond)
-	if s.Now() != 3*Microsecond {
-		t.Fatalf("clock at %v after Limit truncation, want 3us", s.Now())
-	}
-	if s.Pending() != 7 {
-		t.Fatalf("pending = %d, want 7", s.Pending())
-	}
+	forEachImpl(t, func(t *testing.T, newSched func() *Scheduler) {
+		s := newSched()
+		s.Limit = 3
+		for i := 1; i <= 10; i++ {
+			s.At(Time(i)*Microsecond, func() {})
+		}
+		s.RunUntil(8 * Microsecond)
+		if s.Now() != 3*Microsecond {
+			t.Fatalf("clock at %v after Limit truncation, want 3us", s.Now())
+		}
+		if s.Pending() != 7 {
+			t.Fatalf("pending = %d, want 7", s.Pending())
+		}
+	})
 }
 
 // A timer must observe itself as not pending from inside its own
 // callback, and re-arming from the callback must yield a live handle.
 func TestTimerNotPendingDuringFire(t *testing.T) {
-	s := NewScheduler()
-	var tm Timer
-	var rearmed Timer
-	tm = s.After(1*Nanosecond, func() {
-		if tm.Pending() {
-			t.Error("timer pending inside its own callback")
+	forEachImpl(t, func(t *testing.T, newSched func() *Scheduler) {
+		s := newSched()
+		var tm Timer
+		var rearmed Timer
+		tm = s.After(1*Nanosecond, func() {
+			if tm.Pending() {
+				t.Error("timer pending inside its own callback")
+			}
+			if tm.Stop() {
+				t.Error("Stop inside own callback returned true")
+			}
+			rearmed = s.After(1*Nanosecond, func() {})
+		})
+		s.RunUntil(1 * Nanosecond)
+		if !rearmed.Pending() {
+			t.Fatal("re-armed timer not pending")
 		}
-		if tm.Stop() {
-			t.Error("Stop inside own callback returned true")
-		}
-		rearmed = s.After(1*Nanosecond, func() {})
 	})
-	s.RunUntil(1 * Nanosecond)
-	if !rearmed.Pending() {
-		t.Fatal("re-armed timer not pending")
-	}
 }
 
 // Fired and cancelled slots must be recycled: steady-state churn may not
 // grow slot storage beyond the peak number of concurrently-pending events.
 func TestSlotRecycling(t *testing.T) {
-	s := NewScheduler()
-	for i := 0; i < 1000; i++ {
-		s.After(1*Nanosecond, func() {})
-		keep := s.After(2*Nanosecond, func() {})
-		keep.Stop()
-		s.Run()
-	}
-	if cap(s.events) > 8 {
-		t.Fatalf("slot storage grew to %d for 2 concurrent events", cap(s.events))
-	}
+	forEachImpl(t, func(t *testing.T, newSched func() *Scheduler) {
+		s := newSched()
+		for i := 0; i < 1000; i++ {
+			s.After(1*Nanosecond, func() {})
+			keep := s.After(2*Nanosecond, func() {})
+			keep.Stop()
+			s.Run()
+		}
+		if cap(s.events) > 8 {
+			t.Fatalf("slot storage grew to %d for 2 concurrent events", cap(s.events))
+		}
+	})
 }
 
 func BenchmarkScheduler(b *testing.B) {
-	s := NewScheduler()
-	b.ReportAllocs()
-	var fn func()
-	remaining := b.N
-	fn = func() {
-		remaining--
-		if remaining > 0 {
+	for _, impl := range []Impl{Heap, Wheel} {
+		impl := impl
+		b.Run(impl.String(), func(b *testing.B) {
+			s := NewSchedulerImpl(impl)
+			b.ReportAllocs()
+			var fn func()
+			remaining := b.N
+			fn = func() {
+				remaining--
+				if remaining > 0 {
+					s.After(Nanosecond, fn)
+				}
+			}
 			s.After(Nanosecond, fn)
-		}
+			b.ResetTimer()
+			s.Run()
+		})
 	}
-	s.After(Nanosecond, fn)
-	b.ResetTimer()
-	s.Run()
 }

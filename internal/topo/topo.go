@@ -46,6 +46,11 @@ type Config struct {
 	// LossProb injects random per-packet data loss at every switch
 	// egress (failure injection; 0 in all paper experiments).
 	LossProb float64
+
+	// Sched selects the event-queue implementation of the fabric's
+	// scheduler (timing wheel by default, min-heap for A/B runs). Both
+	// produce identical event orders; see internal/sim.
+	Sched sim.Impl
 }
 
 // Network is a built fabric: hosts wired through switches, sharing one
@@ -138,7 +143,7 @@ func Star(n int, cfg Config) *Network {
 	if cfg.LinkDelay == 0 {
 		cfg.LinkDelay = 20 * sim.Microsecond
 	}
-	s := sim.NewScheduler()
+	s := sim.NewSchedulerImpl(cfg.Sched)
 	net := &Network{Sched: s, Cfg: cfg, BottleneckRate: cfg.HostRate}
 	sw := netsim.NewSwitch("sw0", 1)
 	net.Switches = []*netsim.Switch{sw}
@@ -176,7 +181,7 @@ func LeafSpine(leaves, spines, hostsPerLeaf int, cfg Config) *Network {
 	if cfg.LinkDelay == 0 {
 		cfg.LinkDelay = 1 * sim.Microsecond
 	}
-	s := sim.NewScheduler()
+	s := sim.NewSchedulerImpl(cfg.Sched)
 	net := &Network{Sched: s, Cfg: cfg, BottleneckRate: cfg.HostRate}
 	if cfg.CoreRate < cfg.HostRate {
 		net.BottleneckRate = cfg.CoreRate

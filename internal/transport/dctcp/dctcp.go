@@ -88,6 +88,9 @@ type Sender struct {
 
 	dupAcks int
 	rto     sim.Timer
+	// rtoFn is onRTO bound once at construction: evaluating the method
+	// value inline would allocate a fresh closure on every (re)arm.
+	rtoFn func()
 }
 
 // NewSender builds (but does not launch) a sender.
@@ -102,6 +105,7 @@ func NewSender(env *transport.Env, f *transport.Flow, cfg Config) *Sender {
 		SRTT:     env.BaseRTT(),
 		Skip:     &transport.IntervalSet{},
 	}
+	s.rtoFn = s.onRTO
 	return s
 }
 
@@ -186,7 +190,7 @@ func (s *Sender) armRTO() {
 	if s.rto.Pending() {
 		return
 	}
-	s.rto = s.Env.Sched().After(s.Env.RTO(), s.onRTO)
+	s.rto = s.Env.Sched().After(s.Env.RTO(), s.rtoFn)
 }
 
 func (s *Sender) resetRTO() {
@@ -218,7 +222,7 @@ func (s *Sender) onRTO() {
 		s.transmit(seq, int32(end-seq), true)
 		s.SndNxt = end
 	}
-	s.rto = s.Env.Sched().After(s.Env.RTO(), s.onRTO)
+	s.rto = s.Env.Sched().After(s.Env.RTO(), s.rtoFn)
 }
 
 // Handle implements netsim.Endpoint for the sender side (ACK arrivals).

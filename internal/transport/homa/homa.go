@@ -106,14 +106,25 @@ type sender struct {
 	f   *transport.Flow
 	cfg Config
 
-	sentNext int64 // next new byte to transmit
-	info     dataInfo
+	sentNext int64     // next new byte to transmit
 	keep     sim.Timer // pre-grant keepalive
-	gotRx    bool       // receiver has spoken (grant or resend arrived)
+	gotRx    bool      // receiver has spoken (grant or resend arrived)
+
+	// schedInfo/unschedInfo are the only two dataInfo values this sender
+	// ever attaches; packets point at one of them instead of allocating a
+	// fresh copy per packet. Safe because delivery is a sink: endpoints
+	// may not retain Meta past Handle.
+	schedInfo   dataInfo
+	unschedInfo dataInfo
+	// keepFn is keepFired bound once: evaluating the method value inline
+	// would allocate a fresh closure on every re-arm.
+	keepFn func()
 }
 
 func (s *sender) launch() {
-	s.info = dataInfo{Size: s.f.Size}
+	s.schedInfo = dataInfo{Size: s.f.Size, Scheduled: true}
+	s.unschedInfo = dataInfo{Size: s.f.Size}
+	s.keepFn = s.keepFired
 	unsched := min64(s.cfg.RTTBytes, s.f.Size)
 	// Line-rate blind transmission: dump the whole unscheduled span on
 	// the NIC; it serializes at line rate (the pre-credit burst).
@@ -135,7 +146,11 @@ func (s *sender) sendChunk(from, limit int64, prio int8, scheduled, retrans bool
 	}
 	pkt := s.f.Src.Data(s.f.ID, s.f.Dst.ID(), from, int32(end-from), prio)
 	pkt.Retrans = retrans
-	pkt.Meta = &dataInfo{Size: s.f.Size, Scheduled: scheduled}
+	if scheduled {
+		pkt.Meta = &s.schedInfo
+	} else {
+		pkt.Meta = &s.unschedInfo
+	}
 	s.f.Src.Send(pkt)
 	if end > s.sentNext {
 		s.sentNext = end
@@ -146,13 +161,15 @@ func (s *sender) sendChunk(from, limit int64, prio int8, scheduled, retrans bool
 // (all unscheduled packets lost): resend the first packet until any
 // receiver signal arrives.
 func (s *sender) armKeepalive() {
-	s.keep = s.env.Sched().After(s.env.RTO(), func() {
-		if s.f.Done() || s.gotRx {
-			return
-		}
-		s.sendChunk(0, min64(netsim.MSS, s.f.Size), 0, false, true)
-		s.armKeepalive()
-	})
+	s.keep = s.env.Sched().After(s.env.RTO(), s.keepFn)
+}
+
+func (s *sender) keepFired() {
+	if s.f.Done() || s.gotRx {
+		return
+	}
+	s.sendChunk(0, min64(netsim.MSS, s.f.Size), 0, false, true)
+	s.armKeepalive()
 }
 
 // Handle implements netsim.Endpoint (grants and resend requests).
@@ -184,6 +201,10 @@ type rxManager struct {
 	env   *transport.Env
 	cfg   Config
 	flows map[uint32]*rxFlow
+
+	// active is pump's scratch buffer, reused across calls (pump runs on
+	// every data arrival and never escapes the slice).
+	active []*rxFlow
 }
 
 // pump recomputes the grant schedule after every arrival.
@@ -191,12 +212,13 @@ func (m *rxManager) pump() {
 	if len(m.flows) == 0 {
 		return
 	}
-	active := make([]*rxFlow, 0, len(m.flows))
+	active := m.active[:0]
 	for _, rx := range m.flows {
 		if rx.granted < rx.f.Size {
 			active = append(active, rx)
 		}
 	}
+	m.active = active
 	sort.Slice(active, func(i, j int) bool {
 		ri := active[i].f.Size - active[i].r.Received()
 		rj := active[j].f.Size - active[j].r.Received()
@@ -233,6 +255,8 @@ type rxFlow struct {
 	r       *transport.Reassembly
 	granted int64
 	retry   sim.Timer
+	// retryFn is retryFired bound once (see sender.keepFn).
+	retryFn func()
 }
 
 // Handle implements netsim.Endpoint (data arrivals).
@@ -255,20 +279,25 @@ func (rx *rxFlow) Handle(pkt *netsim.Packet) {
 // armRetry schedules a timeout-based RESEND for the first gap.
 func (rx *rxFlow) armRetry() {
 	rx.retry.Stop()
-	rx.retry = rx.mgr.env.Sched().After(rx.mgr.env.RTO(), func() {
-		if rx.f.Done() || rx.r.Complete() {
-			return
-		}
-		miss := rx.r.FirstMissing()
-		end := rx.r.NextCovered(miss, rx.f.Size)
-		if end-miss > rx.mgr.cfg.RTTBytes {
-			end = miss + rx.mgr.cfg.RTTBytes
-		}
-		req := rx.f.Dst.Ctrl(netsim.Ctrl, rx.f.ID, rx.f.Src.ID(), 0)
-		req.Meta = &resendInfo{Seq: miss, Len: end - miss}
-		rx.f.Dst.Send(req)
-		rx.armRetry()
-	})
+	if rx.retryFn == nil {
+		rx.retryFn = rx.retryFired
+	}
+	rx.retry = rx.mgr.env.Sched().After(rx.mgr.env.RTO(), rx.retryFn)
+}
+
+func (rx *rxFlow) retryFired() {
+	if rx.f.Done() || rx.r.Complete() {
+		return
+	}
+	miss := rx.r.FirstMissing()
+	end := rx.r.NextCovered(miss, rx.f.Size)
+	if end-miss > rx.mgr.cfg.RTTBytes {
+		end = miss + rx.mgr.cfg.RTTBytes
+	}
+	req := rx.f.Dst.Ctrl(netsim.Ctrl, rx.f.ID, rx.f.Src.ID(), 0)
+	req.Meta = &resendInfo{Seq: miss, Len: end - miss}
+	rx.f.Dst.Send(req)
+	rx.armRetry()
 }
 
 func min64(a, b int64) int64 {

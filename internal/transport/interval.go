@@ -39,8 +39,22 @@ func (s *IntervalSet) Add(a, b int64) int64 {
 	if added == 0 && i < len(s.iv) && s.iv[i][0] <= a && s.iv[i][1] >= b {
 		return 0
 	}
-	merged := append(s.iv[:i:i], [2]int64{newA, newB})
-	s.iv = append(merged, s.iv[j:]...)
+	if i == j {
+		// No overlap or adjacency: open a gap at i. The append only
+		// grows the backing array amortized; everything else below
+		// mutates in place, so a long-lived set stops allocating once
+		// it reaches its high-water interval count.
+		s.iv = append(s.iv, [2]int64{})
+		copy(s.iv[i+1:], s.iv[i:])
+		s.iv[i] = [2]int64{newA, newB}
+	} else {
+		// Collapse intervals [i, j) into one merged range.
+		s.iv[i] = [2]int64{newA, newB}
+		if j > i+1 {
+			n := copy(s.iv[i+1:], s.iv[j:])
+			s.iv = s.iv[:i+1+n]
+		}
+	}
 	s.total += added
 	return added
 }

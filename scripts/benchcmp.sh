@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Bench regression gate: compares a fresh per-experiment bench run
+# against the newest checked-in BENCH_*.json and fails when any
+# experiment's ns/op regressed more than 15% (after normalizing away
+# uniform machine-speed differences — see cmd/benchcmp).
+#
+#   scripts/benchcmp.sh                  # run a fresh bench, then gate
+#   scripts/benchcmp.sh bench.json       # gate an already-recorded run
+#   scripts/benchcmp.sh -report [file]   # print the diff, never fail
+#                                        # (used by CI on pull requests)
+#
+# Extra flags for cmd/benchcmp (e.g. -threshold 25 -no-normalize) can be
+# passed via BENCHCMP_FLAGS.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+report=""
+if [ "${1:-}" = "-report" ]; then
+    report="-report-only"
+    shift
+fi
+
+base="$(ls BENCH_*.json 2>/dev/null | sort | tail -1)"
+if [ -z "$base" ]; then
+    echo "benchcmp.sh: no checked-in BENCH_*.json baseline found" >&2
+    exit 1
+fi
+
+fresh="${1:-}"
+if [ -z "$fresh" ]; then
+    fresh="$(mktemp -t bench.XXXXXX.json)"
+    trap 'rm -f "$fresh"' EXIT
+    echo "benchcmp.sh: recording fresh bench run..." >&2
+    go run ./cmd/pptsim -benchjson "$fresh"
+fi
+
+# shellcheck disable=SC2086  # BENCHCMP_FLAGS is intentionally word-split
+exec go run ./cmd/benchcmp -base "$base" -fresh "$fresh" $report ${BENCHCMP_FLAGS:-}
