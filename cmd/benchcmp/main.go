@@ -1,18 +1,29 @@
 // Command benchcmp diffs a fresh pptsim -benchjson run against a
 // checked-in BENCH_*.json baseline and fails (exit 1) when any
-// experiment's ns/op regressed beyond the threshold.
+// experiment regressed beyond its threshold: ns/op beyond -threshold,
+// or allocs/op beyond -alloc-threshold.
 //
 // Because baselines are recorded on whatever machine cut the PR while
-// CI runs on different hardware, the comparison normalizes by default:
-// fresh timings are scaled by sum(base ns)/sum(fresh ns) before the
-// per-entry check, so a uniform machine-speed difference cancels out
-// and the gate triggers only when individual experiments regressed
-// relative to the rest of the suite. Disable with -no-normalize when
-// both files come from the same machine.
+// CI runs on different hardware, the ns/op comparison normalizes by
+// default: fresh timings are scaled by sum(base ns)/sum(fresh ns)
+// before the per-entry check, so a uniform machine-speed difference
+// cancels out and the gate triggers only when individual experiments
+// regressed relative to the rest of the suite. Disable with
+// -no-normalize when both files come from the same machine. Allocation
+// counts are machine-independent, so the allocs/op gate always compares
+// raw values.
+//
+// When the fresh file carries the scale family (scale3k/scale30k), the
+// gate additionally checks allocation growth: the 30k-flow run must not
+// allocate more than -scale-growth times the 3k-flow run. With pooled
+// flow/endpoint lifecycles a 10× workload should cost less than 10× the
+// allocations; exceeding the factor means per-flow allocation crept
+// back in.
 //
 // Usage:
 //
-//	benchcmp -base BENCH_2026-08-06.json -fresh bench.json [-threshold 15] [-report-only] [-no-normalize]
+//	benchcmp -base BENCH_2026-08-06.json -fresh bench.json [-threshold 15]
+//	         [-alloc-threshold 20] [-scale-growth 10] [-report-only] [-no-normalize]
 package main
 
 import (
@@ -29,6 +40,8 @@ func main() {
 		basePath    = flag.String("base", "", "checked-in baseline BENCH_*.json")
 		freshPath   = flag.String("fresh", "", "freshly generated bench json")
 		threshold   = flag.Float64("threshold", 15, "max allowed ns/op regression, percent")
+		allocThresh = flag.Float64("alloc-threshold", 20, "max allowed allocs/op regression, percent (0 disables)")
+		scaleGrowth = flag.Float64("scale-growth", 10, "max allocs/op ratio scale30k/scale3k (0 disables)")
 		reportOnly  = flag.Bool("report-only", false, "print the comparison but always exit 0 (PR mode)")
 		noNormalize = flag.Bool("no-normalize", false, "compare raw ns/op without machine-speed normalization")
 	)
@@ -80,21 +93,31 @@ func main() {
 	if !*noNormalize && freshSum > 0 {
 		scale = baseSum / freshSum
 	}
-	fmt.Printf("benchcmp: base %s (%s, %d cpu) vs fresh %s (%s, %d cpu), threshold %.0f%%, scale %.3f\n",
-		*basePath, base.Date, base.NumCPU, *freshPath, fresh.Date, fresh.NumCPU, *threshold, scale)
-	fmt.Printf("%-10s %15s %15s %9s %9s\n", "name", "base-ns/op", "fresh-ns/op*", "delta", "Mev/s")
+	fmt.Printf("benchcmp: base %s (%s, %d cpu) vs fresh %s (%s, %d cpu), ns threshold %.0f%%, alloc threshold %.0f%%, scale %.3f\n",
+		*basePath, base.Date, base.NumCPU, *freshPath, fresh.Date, fresh.NumCPU, *threshold, *allocThresh, scale)
+	fmt.Printf("%-10s %15s %15s %9s %14s %9s %9s\n",
+		"name", "base-ns/op", "fresh-ns/op*", "ns-delta", "allocs/op", "al-delta", "Mev/s")
 
-	failed := 0
+	nsFailed, allocFailed := 0, 0
 	for _, p := range pairs {
 		adj := float64(p.f.NsPerOp) * scale
 		delta := 100 * (adj - float64(p.b.NsPerOp)) / float64(p.b.NsPerOp)
 		mark := ""
 		if delta > *threshold {
-			mark = "  REGRESSION"
-			failed++
+			mark = "  NS-REGRESSION"
+			nsFailed++
 		}
-		fmt.Printf("%-10s %15d %15.0f %+8.1f%% %9.2f%s\n",
-			p.name, p.b.NsPerOp, adj, delta, p.f.EventsPerSec/1e6, mark)
+		// Allocation counts don't depend on machine speed: compare raw.
+		allocDelta := 0.0
+		if p.b.AllocsPerOp > 0 {
+			allocDelta = 100 * (float64(p.f.AllocsPerOp) - float64(p.b.AllocsPerOp)) / float64(p.b.AllocsPerOp)
+		}
+		if *allocThresh > 0 && allocDelta > *allocThresh {
+			mark += "  ALLOC-REGRESSION"
+			allocFailed++
+		}
+		fmt.Printf("%-10s %15d %15.0f %+8.1f%% %14d %+8.1f%% %9.2f%s\n",
+			p.name, p.b.NsPerOp, adj, delta, p.f.AllocsPerOp, allocDelta, p.f.EventsPerSec/1e6, mark)
 	}
 	for _, n := range removed {
 		fmt.Printf("%-10s only in baseline (entry removed?)\n", n)
@@ -102,14 +125,37 @@ func main() {
 	for _, n := range added {
 		fmt.Printf("%-10s new entry (no baseline)\n", n)
 	}
+
+	// Sub-linear allocation-growth gate over the fresh scale family.
+	growthFailed := 0
+	if *scaleGrowth > 0 {
+		small, okS := freshBy["scale3k"]
+		big, okB := freshBy["scale30k"]
+		switch {
+		case okS && okB && small.AllocsPerOp > 0:
+			ratio := float64(big.AllocsPerOp) / float64(small.AllocsPerOp)
+			verdict := "ok (sub-linear)"
+			if ratio > *scaleGrowth {
+				verdict = "GROWTH-REGRESSION"
+				growthFailed++
+			}
+			fmt.Printf("scale-growth: scale30k/scale3k allocs/op = %.2fx (limit %.0fx): %s\n",
+				ratio, *scaleGrowth, verdict)
+		case okS || okB:
+			fmt.Println("scale-growth: incomplete scale family in fresh run, skipping")
+		}
+	}
+
+	failed := nsFailed + allocFailed + growthFailed
 	if failed > 0 {
-		fmt.Printf("benchcmp: %d entr%s regressed more than %.0f%% ns/op\n",
-			failed, map[bool]string{true: "y", false: "ies"}[failed == 1], *threshold)
+		fmt.Printf("benchcmp: %d regression%s (%d ns/op beyond %.0f%%, %d allocs/op beyond %.0f%%, %d scale growth)\n",
+			failed, map[bool]string{true: "", false: "s"}[failed == 1],
+			nsFailed, *threshold, allocFailed, *allocThresh, growthFailed)
 		if !*reportOnly {
 			os.Exit(1)
 		}
 		fmt.Println("benchcmp: report-only mode, not failing")
 	} else {
-		fmt.Println("benchcmp: no ns/op regressions beyond threshold")
+		fmt.Println("benchcmp: no regressions beyond thresholds")
 	}
 }

@@ -15,13 +15,56 @@ import (
 // so the recorded trajectory stays comparable across engine changes.
 const benchFlows = 60
 
+// scaleCases is the flow-scaling family appended after the figure
+// sweep: the fig12 workload at 3k and 30k flows, restricted to the two
+// hot pooled schemes so a run stays tractable. The pair feeds
+// benchcmp's growth gate — with pooled flows/endpoints a 10× flow count
+// must cost no more than ~10× the allocations (sub-linear per-flow
+// growth), where the pre-pool engine scaled superlinearly.
+var scaleCases = []struct {
+	name  string
+	flows int
+}{
+	{"scale3k", 3_000},
+	{"scale30k", 30_000},
+}
+
+// scaleSchemes restricts the scale family's comparison cells.
+var scaleSchemes = []string{"ppt", "dctcp"}
+
+// benchOne runs one experiment serially and measures wall time and the
+// process-wide allocation delta around it.
+func benchOne(name, id string, o exp.Options) (benchfmt.Entry, error) {
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	res, err := exp.RunByID(id, o)
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	if err != nil {
+		return benchfmt.Entry{}, fmt.Errorf("bench %s: %w", name, err)
+	}
+	entry := benchfmt.Entry{
+		Name:        name,
+		NsPerOp:     elapsed.Nanoseconds(),
+		AllocsPerOp: after.Mallocs - before.Mallocs,
+		BytesPerOp:  after.TotalAlloc - before.TotalAlloc,
+		Events:      res.Events,
+	}
+	if s := elapsed.Seconds(); s > 0 {
+		entry.EventsPerSec = float64(res.Events) / s
+	}
+	return entry, nil
+}
+
 // writeBenchJSON benchmarks every registered simulation experiment once
 // (at smoke scale, serial cells so the measurement is of the engine
-// rather than the worker pool) and writes the results to path.
-// Experiments that execute no scheduler events (static tables, the
-// identification study) are skipped: they finish in microseconds, so
-// their timings are pure noise to the benchcmp regression gate, and
-// events/sec is undefined for them.
+// rather than the worker pool), then the scale family, and writes the
+// results to path. Experiments that execute no scheduler events (static
+// tables, the identification study) are skipped: they finish in
+// microseconds, so their timings are pure noise to the benchcmp
+// regression gate, and events/sec is undefined for them.
 func writeBenchJSON(path string, opts exp.Options) error {
 	flows := opts.Flows
 	if flows == 0 {
@@ -38,33 +81,28 @@ func writeBenchJSON(path string, opts exp.Options) error {
 	}
 	for _, e := range exp.List() {
 		o := exp.Options{Flows: flows, Seed: opts.Seed, Parallel: 1, Sched: opts.Sched}
-		var before, after runtime.MemStats
-		runtime.GC()
-		runtime.ReadMemStats(&before)
-		start := time.Now()
-		res, err := exp.RunByID(e.ID, o)
-		elapsed := time.Since(start)
-		runtime.ReadMemStats(&after)
+		entry, err := benchOne(e.ID, e.ID, o)
 		if err != nil {
-			return fmt.Errorf("bench %s: %w", e.ID, err)
+			return err
 		}
-		if res.Events == 0 {
+		if entry.Events == 0 {
 			fmt.Fprintf(os.Stderr, "%-8s skipped (no scheduler events)\n", e.ID)
 			continue
-		}
-		entry := benchfmt.Entry{
-			Name:        e.ID,
-			NsPerOp:     elapsed.Nanoseconds(),
-			AllocsPerOp: after.Mallocs - before.Mallocs,
-			BytesPerOp:  after.TotalAlloc - before.TotalAlloc,
-			Events:      res.Events,
-		}
-		if s := elapsed.Seconds(); s > 0 {
-			entry.EventsPerSec = float64(res.Events) / s
 		}
 		out.Entries = append(out.Entries, entry)
 		fmt.Fprintf(os.Stderr, "%-8s %12d ns/op %10d allocs/op %8.2f Mevents/s\n",
 			e.ID, entry.NsPerOp, entry.AllocsPerOp, entry.EventsPerSec/1e6)
+	}
+	for _, sc := range scaleCases {
+		o := exp.Options{Flows: sc.flows, Seed: opts.Seed, Parallel: 1, Sched: opts.Sched,
+			Schemes: scaleSchemes}
+		entry, err := benchOne(sc.name, "fig12", o)
+		if err != nil {
+			return err
+		}
+		out.Entries = append(out.Entries, entry)
+		fmt.Fprintf(os.Stderr, "%-8s %12d ns/op %10d allocs/op %8.2f Mevents/s\n",
+			sc.name, entry.NsPerOp, entry.AllocsPerOp, entry.EventsPerSec/1e6)
 	}
 	return out.Write(path)
 }

@@ -1,0 +1,36 @@
+package exp
+
+import "testing"
+
+// TestScaleFamilyParallelIdentical is the test-sized twin of the
+// `scale` bench family (fig12 restricted to the pooled ppt/dctcp cells
+// at high flow count, see cmd/pptsim): it drives the pooled
+// flow/endpoint lifecycle through thousands of Get/Recycle cycles per
+// cell and requires a 4-wide parallel run to stay byte-identical to the
+// serial one. Run under -race (CI does) this is also the proof that
+// per-Env pools never leak across worker goroutines.
+func TestScaleFamilyParallelIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a high-flow-count fig12 twice")
+	}
+	run := func(parallel int) (string, string) {
+		res, err := RunByID("fig12", Options{
+			Flows:    500,
+			Seed:     1,
+			Parallel: parallel,
+			Schemes:  []string{"ppt", "dctcp"},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Render(), res.CSV()
+	}
+	serialTable, serialCSV := run(1)
+	parTable, parCSV := run(4)
+	if serialTable != parTable {
+		t.Fatalf("Render() differs between serial and parallel scale runs:\n--- serial ---\n%s\n--- parallel ---\n%s", serialTable, parTable)
+	}
+	if serialCSV != parCSV {
+		t.Fatalf("CSV() differs between serial and parallel scale runs:\n--- serial ---\n%s\n--- parallel ---\n%s", serialCSV, parCSV)
+	}
+}

@@ -36,6 +36,11 @@ type Host struct {
 	pool  *PacketPool
 
 	endpoints map[uint64]Endpoint
+	// peak tracks the high-water endpoint count since the map was last
+	// (re)built: Go maps never shrink, so after a burst of concurrent
+	// flows the bucket array would pin peak-size memory for the rest of
+	// the run. Unbind swaps in a fresh map once the table empties.
+	peak int
 
 	// Delivered counts payload bytes handed to receiver endpoints
 	// (including duplicates), for transfer-efficiency accounting.
@@ -107,11 +112,31 @@ func (h *Host) Bind(flow uint32, receiver bool, ep Endpoint) {
 		panic(fmt.Sprintf("netsim: host %s: duplicate endpoint for flow %d (receiver=%v)", h.name, flow, receiver))
 	}
 	h.endpoints[k] = ep
+	if n := len(h.endpoints); n > h.peak {
+		h.peak = n
+	}
 }
 
-// Unbind removes a flow endpoint (called when a flow completes).
-func (h *Host) Unbind(flow uint32, receiver bool) {
-	delete(h.endpoints, endpointKey(flow, receiver))
+// endpointShrinkAt is the peak table size beyond which an emptied
+// endpoint map is released rather than kept for reuse.
+const endpointShrinkAt = 64
+
+// Unbind removes a flow endpoint (called when a flow completes) and
+// returns it so the caller can recycle the struct; nil when the key was
+// not bound. When the table empties after a large burst, the map is
+// rebuilt small so long runs do not hold peak-size buckets.
+func (h *Host) Unbind(flow uint32, receiver bool) Endpoint {
+	k := endpointKey(flow, receiver)
+	ep, ok := h.endpoints[k]
+	if !ok {
+		return nil
+	}
+	delete(h.endpoints, k)
+	if len(h.endpoints) == 0 && h.peak > endpointShrinkAt {
+		h.endpoints = make(map[uint64]Endpoint)
+		h.peak = 0
+	}
+	return ep
 }
 
 // Send stamps and enqueues a packet on the NIC.

@@ -1,0 +1,100 @@
+package netsim
+
+import (
+	"testing"
+
+	"ppt/internal/sim"
+)
+
+type epStub struct{ got int }
+
+func (e *epStub) Handle(pkt *Packet) { e.got++ }
+
+// TestUnbindReturnsEndpointAndAllowsRebind pins the flow-ID reuse
+// contract: after a flow completes and unbinds, the same flow ID can be
+// bound again (pooled Flow structs recycle IDs within a run).
+func TestUnbindReturnsEndpointAndAllowsRebind(t *testing.T) {
+	h := NewHost(0, sim.NewScheduler())
+	ep1 := &epStub{}
+	h.Bind(7, true, ep1)
+	if got := h.Unbind(7, true); got != Endpoint(ep1) {
+		t.Fatalf("Unbind returned %v, want the bound endpoint", got)
+	}
+	if got := h.Unbind(7, true); got != nil {
+		t.Fatalf("second Unbind returned %v, want nil", got)
+	}
+	// Same flow ID, fresh endpoint: must not trip the duplicate-bind
+	// panic, and delivery must reach the new endpoint.
+	ep2 := &epStub{}
+	h.Bind(7, true, ep2)
+	if h.endpoints[endpointKey(7, true)] != Endpoint(ep2) {
+		t.Fatal("rebind did not install the new endpoint")
+	}
+}
+
+// TestEndpointMapShrinksAfterBurst: once a burst larger than
+// endpointShrinkAt drains, the endpoint table is rebuilt so the run
+// does not pin peak-size map buckets; small tables are kept as-is.
+func TestEndpointMapShrinksAfterBurst(t *testing.T) {
+	h := NewHost(0, sim.NewScheduler())
+	n := endpointShrinkAt + 36
+	for i := 0; i < n; i++ {
+		h.Bind(uint32(i), true, &epStub{})
+	}
+	if h.peak != n {
+		t.Fatalf("peak = %d, want %d", h.peak, n)
+	}
+	for i := 0; i < n; i++ {
+		h.Unbind(uint32(i), true)
+	}
+	if len(h.endpoints) != 0 {
+		t.Fatalf("%d endpoints left after unbinding all", len(h.endpoints))
+	}
+	// peak == 0 only on the rebuild path: the map was replaced, releasing
+	// the burst-size bucket array.
+	if h.peak != 0 {
+		t.Fatalf("peak = %d after drain, want 0 (map rebuilt)", h.peak)
+	}
+
+	// Below the threshold the map is kept for reuse: peak survives.
+	small := endpointShrinkAt / 2
+	for i := 0; i < small; i++ {
+		h.Bind(uint32(i), true, &epStub{})
+	}
+	for i := 0; i < small; i++ {
+		h.Unbind(uint32(i), true)
+	}
+	if h.peak != small {
+		t.Fatalf("peak = %d after small drain, want %d (map kept)", h.peak, small)
+	}
+}
+
+// TestBindUnbindSteadyStateAllocFree is the heap assertion for the
+// endpoint table: once a host has seen its working-set size, a
+// bind/unbind cycle must not allocate (the map's buckets are reused, no
+// rebuild below the shrink threshold).
+func TestBindUnbindSteadyStateAllocFree(t *testing.T) {
+	h := NewHost(0, sim.NewScheduler())
+	eps := make([]*epStub, 16)
+	for i := range eps {
+		eps[i] = &epStub{}
+	}
+	// Warm the map to its working-set capacity.
+	for i := range eps {
+		h.Bind(uint32(i), true, eps[i])
+	}
+	for i := range eps {
+		h.Unbind(uint32(i), true)
+	}
+	avg := testing.AllocsPerRun(100, func() {
+		for i := range eps {
+			h.Bind(uint32(i), true, eps[i])
+		}
+		for i := range eps {
+			h.Unbind(uint32(i), true)
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("bind/unbind cycle allocates %.1f objects at steady state, want 0", avg)
+	}
+}

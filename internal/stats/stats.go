@@ -33,10 +33,30 @@ func (r FCTRecord) FCT() sim.Time { return r.End - r.Start }
 // Collector accumulates flow completions.
 type Collector struct {
 	records []FCTRecord
+
+	// scratch is Summarize's small-FCT workspace, reused across calls so
+	// summarizing is allocation-free once the run's flow count is known.
+	scratch []float64
 }
 
 // NewCollector returns an empty collector.
 func NewCollector() *Collector { return &Collector{} }
+
+// Reserve pre-sizes the collector for n upcoming completions so the
+// record log (and Summarize's workspace) never reallocates mid-run.
+func (c *Collector) Reserve(n int) {
+	if n <= 0 {
+		return
+	}
+	if need := len(c.records) + n; need > cap(c.records) {
+		grown := make([]FCTRecord, len(c.records), need)
+		copy(grown, c.records)
+		c.records = grown
+	}
+	if n > cap(c.scratch) {
+		c.scratch = make([]float64, 0, n)
+	}
+}
 
 // Complete records one finished flow.
 func (c *Collector) Complete(flowID uint32, size int64, start, end sim.Time) {
@@ -80,7 +100,7 @@ func (c *Collector) Summarize() Summary {
 		return s
 	}
 	var overall, small, large float64
-	var smallFCTs []float64
+	smallFCTs := c.scratch[:0]
 	for _, r := range c.records {
 		f := float64(r.FCT())
 		overall += f
@@ -91,12 +111,20 @@ func (c *Collector) Summarize() Summary {
 			large += f
 		}
 	}
+	c.scratch = smallFCTs[:0]
 	s.OverallAvg = sim.Time(overall / float64(s.Flows))
 	s.SmallCount = len(smallFCTs)
 	s.LargeCount = s.Flows - s.SmallCount
 	if s.SmallCount > 0 {
 		s.SmallAvg = sim.Time(small / float64(s.SmallCount))
-		s.SmallP99 = sim.Time(Percentile(smallFCTs, 0.99))
+		// Nearest-rank P99 by in-place selection: the kth order statistic
+		// is the same float64 a sort-then-index would produce, without
+		// copying or fully ordering the slice.
+		rank := int(math.Ceil(0.99*float64(s.SmallCount))) - 1
+		if rank < 0 {
+			rank = 0
+		}
+		s.SmallP99 = sim.Time(selectKth(smallFCTs, rank))
 	}
 	if s.LargeCount > 0 {
 		s.LargeAvg = sim.Time(large / float64(s.LargeCount))
@@ -111,6 +139,60 @@ func (s Summary) String() string {
 		out += fmt.Sprintf(" TRUNCATED(unfinished=%d)", s.Unfinished)
 	}
 	return out
+}
+
+// selectKth returns the k-th smallest element of xs (0-based),
+// partially reordering xs in place — quickselect with median-of-three
+// pivoting. Whatever the pivot choices, the value returned is exactly
+// the element a full sort would put at index k, so results are
+// bit-identical to the sort-based path it replaced.
+func selectKth(xs []float64, k int) float64 {
+	lo, hi := 0, len(xs)-1
+	for lo < hi {
+		if hi-lo < 12 {
+			// Insertion-sort the stub and read off the answer.
+			for i := lo + 1; i <= hi; i++ {
+				for j := i; j > lo && xs[j] < xs[j-1]; j-- {
+					xs[j], xs[j-1] = xs[j-1], xs[j]
+				}
+			}
+			break
+		}
+		// Median-of-three pivot, parked at lo.
+		mid := lo + (hi-lo)/2
+		if xs[mid] < xs[lo] {
+			xs[mid], xs[lo] = xs[lo], xs[mid]
+		}
+		if xs[hi] < xs[lo] {
+			xs[hi], xs[lo] = xs[lo], xs[hi]
+		}
+		if xs[hi] < xs[mid] {
+			xs[hi], xs[mid] = xs[mid], xs[hi]
+		}
+		pivot := xs[mid]
+		i, j := lo, hi
+		for i <= j {
+			for xs[i] < pivot {
+				i++
+			}
+			for xs[j] > pivot {
+				j--
+			}
+			if i <= j {
+				xs[i], xs[j] = xs[j], xs[i]
+				i++
+				j--
+			}
+		}
+		if k <= j {
+			hi = j
+		} else if k >= i {
+			lo = i
+		} else {
+			break // xs[k] == pivot, already in final position
+		}
+	}
+	return xs[k]
 }
 
 // Percentile returns the p-quantile (0 < p <= 1) of xs by

@@ -47,8 +47,10 @@ type dataInfo struct {
 
 // grantInfo is a scheduled credit; Resend, when non-zero-length, asks
 // the sender to also retransmit that missing range (selective
-// retransmission of lost unscheduled bytes).
+// retransmission of lost unscheduled bytes). Instances cycle through an
+// Env pool — reuse is dirty, so every producer sets all four fields.
 type grantInfo struct {
+	transport.PoolNode
 	UpTo      int64
 	Prio      int8
 	ResendSeq int64
@@ -77,24 +79,44 @@ func New(cfg Config) *Proto {
 // Name implements transport.Protocol.
 func (*Proto) Name() string { return "aeolus" }
 
+// RecyclesFlows implements transport.FlowRecycler: Recycle stops the
+// keepalive and retry timers — the only callbacks that could reach a
+// recycled Flow.
+func (*Proto) RecyclesFlows() {}
+
+// Pool keys for the per-flow objects Start draws from the Env.
+var (
+	senderPool    = transport.NewPoolKey("aeolus.sender")
+	rxFlowPool    = transport.NewPoolKey("aeolus.rxflow")
+	grantInfoPool = transport.NewPoolKey("aeolus.grantinfo")
+)
+
+func newGrantInfo() *grantInfo { return &grantInfo{} }
+
 // Start implements transport.Protocol.
 func (p *Proto) Start(env *transport.Env, f *transport.Flow) {
 	cfg := p.Cfg.withDefaults(env)
 	mgr := p.managers[f.Dst.ID()]
 	if mgr == nil {
-		mgr = &rxManager{env: env, cfg: cfg, flows: make(map[uint32]*rxFlow)}
+		mgr = &rxManager{env: env, cfg: cfg,
+			grants: transport.PoolFor(env, grantInfoPool, newGrantInfo)}
 		p.managers[f.Dst.ID()] = mgr
 	}
-	rx := &rxFlow{mgr: mgr, f: f, r: transport.NewReassembly(f.Size), granted: min64(cfg.RTTBytes, f.Size)}
-	mgr.flows[f.ID] = rx
+	rx := transport.PoolFor(env, rxFlowPool, newIdleRxFlow).Get()
+	rx.init(mgr, f)
+	rx.pooled = true
+	mgr.insert(rx)
 	f.Dst.Bind(f.ID, true, rx)
 
-	s := &sender{env: env, f: f, cfg: cfg}
+	s := transport.PoolFor(env, senderPool, newIdleSender).Get()
+	s.init(env, f, cfg)
+	s.pooled = true
 	f.Src.Bind(f.ID, false, s)
 	s.launch()
 }
 
 type sender struct {
+	transport.PoolNode
 	env *transport.Env
 	f   *transport.Flow
 	cfg Config
@@ -102,6 +124,46 @@ type sender struct {
 	sentNext int64
 	keep     sim.Timer
 	gotRx    bool
+	pooled   bool
+
+	// grants is the Env grant-meta pool, cached off the registry.
+	grants *transport.Pool[*grantInfo]
+
+	// dinfo is the one dataInfo value every data packet points at (the
+	// receiver never dereferences it here; delivery is a sink, so a
+	// stable per-sender value replaces a per-packet allocation).
+	dinfo dataInfo
+	// keepFn is keepFired bound once; re-arming with an inline closure
+	// would allocate per RTO.
+	keepFn func()
+}
+
+// newIdleSender builds an unbound sender shell for the pool.
+func newIdleSender() *sender {
+	s := &sender{}
+	s.keepFn = s.keepFired
+	return s
+}
+
+// init (re)targets the sender at a flow.
+func (s *sender) init(env *transport.Env, f *transport.Flow, cfg Config) {
+	s.env, s.f, s.cfg = env, f, cfg
+	s.sentNext = 0
+	s.keep = sim.Timer{}
+	s.gotRx = false
+	s.grants = transport.PoolFor(env, grantInfoPool, newGrantInfo)
+	s.dinfo = dataInfo{Size: f.Size}
+}
+
+// Recycle implements transport.EndpointRecycler.
+func (s *sender) Recycle(env *transport.Env) {
+	s.keep.Stop()
+	if !s.pooled {
+		return
+	}
+	s.pooled = false
+	s.f = nil
+	transport.PoolFor(env, senderPool, newIdleSender).Put(s)
 }
 
 func (s *sender) launch() {
@@ -110,7 +172,7 @@ func (s *sender) launch() {
 	for s.sentNext < unsched {
 		end := min64(s.sentNext+netsim.MSS, unsched)
 		pkt := s.f.Src.Data(s.f.ID, s.f.Dst.ID(), s.sentNext, int32(end-s.sentNext), s.cfg.UnschedPrio)
-		pkt.Meta = &dataInfo{Size: s.f.Size}
+		pkt.Meta = &s.dinfo
 		if first {
 			// The probe packet is protected so the receiver always
 			// learns the flow exists; the rest may be shed.
@@ -126,17 +188,19 @@ func (s *sender) launch() {
 }
 
 func (s *sender) armKeepalive() {
-	s.keep = s.env.Sched().After(s.env.RTO(), func() {
-		if s.f.Done() || s.gotRx {
-			return
-		}
-		pkt := s.f.Src.Data(s.f.ID, s.f.Dst.ID(), 0, int32(min64(netsim.MSS, s.f.Size)), 1)
-		pkt.Meta = &dataInfo{Size: s.f.Size}
-		pkt.Retrans = true
-		atomic.AddInt64(&Debug.Keepalives, 1)
-		s.f.Src.Send(pkt)
-		s.armKeepalive()
-	})
+	s.keep = s.env.Sched().After(s.env.RTO(), s.keepFn)
+}
+
+func (s *sender) keepFired() {
+	if s.f.Done() || s.gotRx {
+		return
+	}
+	pkt := s.f.Src.Data(s.f.ID, s.f.Dst.ID(), 0, int32(min64(netsim.MSS, s.f.Size)), 1)
+	pkt.Meta = &s.dinfo
+	pkt.Retrans = true
+	atomic.AddInt64(&Debug.Keepalives, 1)
+	s.f.Src.Send(pkt)
+	s.armKeepalive()
 }
 
 // Handle implements netsim.Endpoint (grants).
@@ -146,81 +210,156 @@ func (s *sender) Handle(pkt *netsim.Packet) {
 	}
 	s.gotRx = true
 	gi := pkt.Meta.(*grantInfo)
+	upTo, prio := gi.UpTo, gi.Prio
+	resendSeq, resendLen := gi.ResendSeq, gi.ResendLen
+	pkt.Meta = nil
+	s.grants.Put(gi)
 	// Selective retransmission of shed unscheduled bytes rides first,
 	// at the scheduled priority.
-	if gi.ResendLen > 0 {
-		end := min64(gi.ResendSeq+gi.ResendLen, s.f.Size)
-		atomic.AddInt64(&Debug.ResendBytes, end-gi.ResendSeq)
-		for seq := gi.ResendSeq; seq < end; seq += netsim.MSS {
+	if resendLen > 0 {
+		end := min64(resendSeq+resendLen, s.f.Size)
+		atomic.AddInt64(&Debug.ResendBytes, end-resendSeq)
+		for seq := resendSeq; seq < end; seq += netsim.MSS {
 			n := int32(min64(seq+netsim.MSS, end) - seq)
-			rp := s.f.Src.Data(s.f.ID, s.f.Dst.ID(), seq, n, gi.Prio)
+			rp := s.f.Src.Data(s.f.ID, s.f.Dst.ID(), seq, n, prio)
 			rp.Retrans = true
-			rp.Meta = &dataInfo{Size: s.f.Size}
+			rp.Meta = &s.dinfo
 			s.f.Src.Send(rp)
 		}
 	}
-	limit := min64(gi.UpTo, s.f.Size)
+	limit := min64(upTo, s.f.Size)
 	if limit > s.sentNext {
 		atomic.AddInt64(&Debug.GrantBytes, limit-s.sentNext)
 	}
 	for s.sentNext < limit {
 		end := min64(s.sentNext+netsim.MSS, limit)
-		pkt := s.f.Src.Data(s.f.ID, s.f.Dst.ID(), s.sentNext, int32(end-s.sentNext), gi.Prio)
-		pkt.Meta = &dataInfo{Size: s.f.Size}
+		pkt := s.f.Src.Data(s.f.ID, s.f.Dst.ID(), s.sentNext, int32(end-s.sentNext), prio)
+		pkt.Meta = &s.dinfo
 		s.f.Src.Send(pkt)
 		s.sentNext = end
 	}
 }
 
 type rxManager struct {
-	env   *transport.Env
-	cfg   Config
-	flows map[uint32]*rxFlow
+	env *transport.Env
+	cfg Config
+
+	// order holds the inbound flows sorted by (remaining bytes, flow ID);
+	// see the identical structure in package homa. Arrivals only shrink a
+	// flow's key, so reposition bubbles leftward.
+	order []*rxFlow
+
+	// grants is the Env grant-meta pool (senders return consumed metas).
+	grants *transport.Pool[*grantInfo]
+}
+
+// rxLess orders a before b under SRPT with flow-ID tie-break.
+func rxLess(a, b *rxFlow) bool {
+	ra := a.f.Size - a.r.Received()
+	rb := b.f.Size - b.r.Received()
+	if ra != rb {
+		return ra < rb
+	}
+	return a.f.ID < b.f.ID
+}
+
+// insert places rx at its sorted position.
+func (m *rxManager) insert(rx *rxFlow) {
+	i := sort.Search(len(m.order), func(i int) bool { return rxLess(rx, m.order[i]) })
+	m.order = append(m.order, nil)
+	copy(m.order[i+1:], m.order[i:])
+	m.order[i] = rx
+	for j := i; j < len(m.order); j++ {
+		m.order[j].pos = j
+	}
+}
+
+// remove splices rx out of the order.
+func (m *rxManager) remove(rx *rxFlow) {
+	i := rx.pos
+	copy(m.order[i:], m.order[i+1:])
+	m.order[len(m.order)-1] = nil
+	m.order = m.order[:len(m.order)-1]
+	for j := i; j < len(m.order); j++ {
+		m.order[j].pos = j
+	}
+}
+
+// reposition bubbles rx leftward after an arrival shrank its key.
+func (m *rxManager) reposition(rx *rxFlow) {
+	for rx.pos > 0 && rxLess(rx, m.order[rx.pos-1]) {
+		prev := m.order[rx.pos-1]
+		m.order[rx.pos-1], m.order[rx.pos] = rx, prev
+		prev.pos = rx.pos
+		rx.pos--
+	}
 }
 
 func (m *rxManager) pump() {
-	active := make([]*rxFlow, 0, len(m.flows))
-	for _, rx := range m.flows {
-		if rx.granted < rx.f.Size || !rx.r.Complete() {
-			active = append(active, rx)
-		}
-	}
-	if len(active) == 0 {
-		return
-	}
-	sort.Slice(active, func(i, j int) bool {
-		ri := active[i].f.Size - active[i].r.Received()
-		rj := active[j].f.Size - active[j].r.Received()
-		if ri != rj {
-			return ri < rj
-		}
-		return active[i].f.ID < active[j].f.ID
-	})
 	k := m.cfg.Overcommit
-	if k > len(active) {
-		k = len(active)
-	}
-	for rank := 0; rank < k; rank++ {
-		rx := active[rank]
+	rank := 0
+	for _, rx := range m.order {
+		if rank >= k {
+			break
+		}
+		if rx.granted >= rx.f.Size && rx.r.Complete() {
+			// Completed flows leave the order before pump runs; this
+			// mirrors the filter of the sort-based pump it replaced.
+			continue
+		}
 		prio := int8(2 + rank)
 		if prio > 5 {
 			prio = 5
 		}
 		rx.grantSome(prio)
+		rank++
 	}
 }
 
 type rxFlow struct {
+	transport.PoolNode
 	mgr     *rxManager
 	f       *transport.Flow
 	r       *transport.Reassembly
 	granted int64
+	pos     int // index in mgr.order
+	pooled  bool
 	// reqd tracks hole bytes whose retransmission was already requested;
 	// the retry timer clears it so persistent losses are re-requested on
 	// an RTO cadence rather than per arrival (which would turn one shed
 	// burst into a retransmission storm).
 	reqd  transport.IntervalSet
 	retry sim.Timer
+	// retryFn is retryFired bound once (see sender.keepFn).
+	retryFn func()
+}
+
+// newIdleRxFlow builds an unbound receiver shell for the pool.
+func newIdleRxFlow() *rxFlow {
+	rx := &rxFlow{r: transport.NewReassembly(0)}
+	rx.retryFn = rx.retryFired
+	return rx
+}
+
+// init (re)targets the receiver at a flow.
+func (rx *rxFlow) init(mgr *rxManager, f *transport.Flow) {
+	rx.mgr, rx.f = mgr, f
+	rx.r.Reset(f.Size)
+	rx.granted = min64(mgr.cfg.RTTBytes, f.Size)
+	rx.reqd.Reset()
+	rx.retry = sim.Timer{}
+}
+
+// Recycle implements transport.EndpointRecycler.
+func (rx *rxFlow) Recycle(env *transport.Env) {
+	rx.retry.Stop()
+	if !rx.pooled {
+		return
+	}
+	rx.pooled = false
+	rx.f = nil
+	rx.mgr = nil
+	transport.PoolFor(env, rxFlowPool, newIdleRxFlow).Put(rx)
 }
 
 // grantSome issues credits while this flow's outstanding window allows.
@@ -232,13 +371,19 @@ func (rx *rxFlow) grantSome(prio int8) {
 		atomic.AddInt64(&Debug.HoleReqs, 1)
 		rx.reqd.Add(seq, seq+n)
 		g := rx.f.Dst.Ctrl(netsim.Grant, rx.f.ID, rx.f.Src.ID(), 0)
-		g.Meta = &grantInfo{UpTo: rx.granted, Prio: prio, ResendSeq: seq, ResendLen: n}
+		gi := rx.mgr.grants.Get()
+		gi.UpTo, gi.Prio = rx.granted, prio
+		gi.ResendSeq, gi.ResendLen = seq, n
+		g.Meta = gi
 		rx.f.Dst.Send(g)
 	}
 	for rx.granted-rx.r.Received() < rx.mgr.cfg.RTTBytes && rx.granted < rx.f.Size {
 		upTo := min64(rx.granted+netsim.MSS, rx.f.Size)
 		g := rx.f.Dst.Ctrl(netsim.Grant, rx.f.ID, rx.f.Src.ID(), 0)
-		g.Meta = &grantInfo{UpTo: upTo, Prio: prio}
+		gi := rx.mgr.grants.Get()
+		gi.UpTo, gi.Prio = upTo, prio
+		gi.ResendSeq, gi.ResendLen = 0, 0
+		g.Meta = gi
 		rx.f.Dst.Send(g)
 		rx.granted = upTo
 	}
@@ -281,37 +426,47 @@ func (rx *rxFlow) Handle(pkt *netsim.Packet) {
 		return
 	}
 	rx.r.Add(pkt.Seq, pkt.PayloadLen)
+	mgr := rx.mgr // survives the Recycle inside Complete
 	if rx.r.Complete() {
 		rx.retry.Stop()
-		delete(rx.mgr.flows, rx.f.ID)
-		rx.mgr.env.Complete(rx.f)
-		rx.mgr.pump()
+		mgr.remove(rx)
+		mgr.env.Complete(rx.f)
+		mgr.pump()
 		return
 	}
+	mgr.reposition(rx)
 	rx.armRetry()
-	rx.mgr.pump()
+	mgr.pump()
 }
 
 // armRetry is the last-resort timeout (e.g. the tail packet of a fully
 // granted flow was lost).
 func (rx *rxFlow) armRetry() {
 	rx.retry.Stop()
-	rx.retry = rx.mgr.env.Sched().After(rx.mgr.env.RTO(), func() {
-		if rx.f.Done() || rx.r.Complete() {
-			return
-		}
-		// Forget past requests — whatever is still missing after an RTO
-		// was lost again — and kick recovery with one packet.
-		rx.reqd = transport.IntervalSet{}
-		atomic.AddInt64(&Debug.RetryReqs, 1)
-		miss := rx.r.FirstMissing()
-		end := min64(miss+netsim.MSS, rx.f.Size)
-		rx.reqd.Add(miss, end)
-		g := rx.f.Dst.Ctrl(netsim.Grant, rx.f.ID, rx.f.Src.ID(), 0)
-		g.Meta = &grantInfo{UpTo: rx.granted, Prio: 2, ResendSeq: miss, ResendLen: end - miss}
-		rx.f.Dst.Send(g)
-		rx.armRetry()
-	})
+	if rx.retryFn == nil {
+		rx.retryFn = rx.retryFired
+	}
+	rx.retry = rx.mgr.env.Sched().After(rx.mgr.env.RTO(), rx.retryFn)
+}
+
+func (rx *rxFlow) retryFired() {
+	if rx.f.Done() || rx.r.Complete() {
+		return
+	}
+	// Forget past requests — whatever is still missing after an RTO
+	// was lost again — and kick recovery with one packet.
+	rx.reqd.Reset()
+	atomic.AddInt64(&Debug.RetryReqs, 1)
+	miss := rx.r.FirstMissing()
+	end := min64(miss+netsim.MSS, rx.f.Size)
+	rx.reqd.Add(miss, end)
+	g := rx.f.Dst.Ctrl(netsim.Grant, rx.f.ID, rx.f.Src.ID(), 0)
+	gi := rx.mgr.grants.Get()
+	gi.UpTo, gi.Prio = rx.granted, 2
+	gi.ResendSeq, gi.ResendLen = miss, end-miss
+	g.Meta = gi
+	rx.f.Dst.Send(g)
+	rx.armRetry()
 }
 
 func min64(a, b int64) int64 {

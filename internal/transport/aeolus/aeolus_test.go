@@ -78,7 +78,8 @@ func TestShedBytesRecoveredWithoutTimeout(t *testing.T) {
 func TestNextHolePacket(t *testing.T) {
 	env := transporttest.NewStarEnv(4)
 	cfg := Config{RTTBytes: 50_000}.withDefaults(env)
-	mgr := &rxManager{env: env, cfg: cfg, flows: make(map[uint32]*rxFlow)}
+	mgr := &rxManager{env: env, cfg: cfg,
+		grants: transport.PoolFor(env, grantInfoPool, newGrantInfo)}
 	f := &transport.Flow{ID: 1, Src: env.Net.Hosts[1], Dst: env.Net.Hosts[0], Size: 100_000}
 	rx := &rxFlow{mgr: mgr, f: f, r: transport.NewReassembly(f.Size), granted: 50_000}
 	// No data yet: no hole (nothing below the frontier).

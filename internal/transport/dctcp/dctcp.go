@@ -30,6 +30,10 @@ type Config struct {
 	NoECN bool
 }
 
+// defaultPrio is the zero-config tagger; a package-level func so
+// withDefaults does not allocate a closure per flow.
+func defaultPrio(int64) int8 { return 0 }
+
 func (c Config) withDefaults() Config {
 	if c.G == 0 {
 		c.G = 1.0 / 16
@@ -38,13 +42,15 @@ func (c Config) withDefaults() Config {
 		c.InitCwnd = 10 * netsim.MSS
 	}
 	if c.Prio == nil {
-		c.Prio = func(int64) int8 { return 0 }
+		c.Prio = defaultPrio
 	}
 	return c
 }
 
 // Sender is the DCTCP congestion-controlled sender for one flow.
 type Sender struct {
+	transport.PoolNode
+
 	Env *transport.Env
 	F   *transport.Flow
 	C   Config
@@ -91,23 +97,61 @@ type Sender struct {
 	// rtoFn is onRTO bound once at construction: evaluating the method
 	// value inline would allocate a fresh closure on every (re)arm.
 	rtoFn func()
+
+	// pooled marks senders owned by the Env pool (built by Proto.Start);
+	// Recycle no-ops for plain NewSender structs, which callers like the
+	// MW oracle retain past completion.
+	pooled bool
+}
+
+// NewIdleSender allocates a sender shell with its once-per-struct state
+// (Skip set, bound RTO callback) but no flow; Init attaches one. Pools
+// use it as their allocator.
+func NewIdleSender() *Sender {
+	s := &Sender{Skip: &transport.IntervalSet{}}
+	s.rtoFn = s.onRTO
+	return s
 }
 
 // NewSender builds (but does not launch) a sender.
 func NewSender(env *transport.Env, f *transport.Flow, cfg Config) *Sender {
-	cfg = cfg.withDefaults()
-	s := &Sender{
-		Env:      env,
-		F:        f,
-		C:        cfg,
-		Cwnd:     float64(cfg.InitCwnd),
-		Ssthresh: 1 << 40,
-		SRTT:     env.BaseRTT(),
-		Skip:     &transport.IntervalSet{},
-	}
-	s.rtoFn = s.onRTO
+	s := NewIdleSender()
+	s.Init(env, f, cfg)
 	return s
 }
+
+// Init (re)targets a sender at a flow, resetting every piece of
+// congestion state in place. It is what makes Sender pool-reusable: a
+// recycled struct after Init is indistinguishable from a fresh
+// NewSender result (the Skip set keeps its backing array, emptied).
+func (s *Sender) Init(env *transport.Env, f *transport.Flow, cfg Config) {
+	cfg = cfg.withDefaults()
+	s.Env = env
+	s.F = f
+	s.C = cfg
+	s.Cwnd = float64(cfg.InitCwnd)
+	s.Ssthresh = 1 << 40
+	s.SndUna = 0
+	s.SndNxt = 0
+	s.Alpha = 0
+	s.Wmax = 0
+	s.ExitedSS = false
+	s.PeakCwnd = 0
+	s.Skip.Reset()
+	s.BytesSent = 0
+	s.SRTT = env.BaseRTT()
+	s.OnAlpha = nil
+	s.OnAck = nil
+	s.windowEnd = 0
+	s.ackedInWin = 0
+	s.markedInWin = 0
+	s.dupAcks = 0
+	s.rto = sim.Timer{}
+}
+
+// StopTimers cancels every pending timer whose callback references the
+// sender — the precondition for recycling it (or its flow).
+func (s *Sender) StopTimers() { s.stopRTO() }
 
 // Launch begins transmission.
 func (s *Sender) Launch() {
@@ -344,16 +388,31 @@ func (s *Sender) noteWmax() {
 // Receiver is the plain DCTCP receiver: one ACK per data packet echoing
 // the CE bit, completion when all bytes arrive.
 type Receiver struct {
+	transport.PoolNode
+
 	Env *transport.Env
 	F   *transport.Flow
 	R   *transport.Reassembly
 	// AckPrio tags outgoing ACKs.
 	AckPrio int8
+
+	pooled bool
 }
 
 // NewReceiver builds a receiver.
 func NewReceiver(env *transport.Env, f *transport.Flow) *Receiver {
-	return &Receiver{Env: env, F: f, R: transport.NewReassembly(f.Size)}
+	r := &Receiver{R: transport.NewReassembly(0)}
+	r.Init(env, f)
+	return r
+}
+
+// Init (re)targets a receiver at a flow, reusing the reassembly set's
+// backing array.
+func (r *Receiver) Init(env *transport.Env, f *transport.Flow) {
+	r.Env = env
+	r.F = f
+	r.R.Reset(f.Size)
+	r.AckPrio = 0
 }
 
 // Handle implements netsim.Endpoint for the receiver side.
@@ -372,6 +431,58 @@ func (r *Receiver) Handle(pkt *netsim.Packet) {
 	}
 }
 
+// Pool keys for the endpoint structs Proto.Start draws per flow.
+var (
+	senderPool   = transport.NewPoolKey("dctcp.sender")
+	receiverPool = transport.NewPoolKey("dctcp.receiver")
+)
+
+func newIdleReceiver() *Receiver { return &Receiver{R: transport.NewReassembly(0)} }
+
+// GetSender returns an initialized sender from env's pool; it returns
+// to the pool via Recycle when its flow completes.
+func GetSender(env *transport.Env, f *transport.Flow, cfg Config) *Sender {
+	s := transport.PoolFor(env, senderPool, NewIdleSender).Get()
+	s.Init(env, f, cfg)
+	s.pooled = true
+	return s
+}
+
+// GetReceiver is the receiver-side analogue of GetSender.
+func GetReceiver(env *transport.Env, f *transport.Flow) *Receiver {
+	r := transport.PoolFor(env, receiverPool, newIdleReceiver).Get()
+	r.Init(env, f)
+	r.pooled = true
+	return r
+}
+
+// Recycle implements transport.EndpointRecycler: stop the RTO and
+// return pool-owned senders to the freelist. Senders built with
+// NewSender (tests, the MW oracle, embedding transports) are left
+// alone — their creators may still hold them.
+func (s *Sender) Recycle(env *transport.Env) {
+	s.StopTimers()
+	if !s.pooled {
+		return
+	}
+	s.pooled = false
+	s.F = nil
+	s.OnAlpha = nil
+	s.OnAck = nil
+	transport.PoolFor(env, senderPool, NewIdleSender).Put(s)
+}
+
+// Recycle implements transport.EndpointRecycler for the receiver (no
+// timers to stop).
+func (r *Receiver) Recycle(env *transport.Env) {
+	if !r.pooled {
+		return
+	}
+	r.pooled = false
+	r.F = nil
+	transport.PoolFor(env, receiverPool, newIdleReceiver).Put(r)
+}
+
 // Proto is the plain-DCTCP protocol factory.
 type Proto struct {
 	Cfg Config
@@ -380,11 +491,16 @@ type Proto struct {
 // Name implements transport.Protocol.
 func (Proto) Name() string { return "dctcp" }
 
+// RecyclesFlows implements transport.FlowRecycler: both endpoints stop
+// their timers on Recycle, so no pending callback can reach the Flow
+// after Complete.
+func (Proto) RecyclesFlows() {}
+
 // Start implements transport.Protocol.
 func (p Proto) Start(env *transport.Env, f *transport.Flow) {
-	r := NewReceiver(env, f)
+	r := GetReceiver(env, f)
 	f.Dst.Bind(f.ID, true, r)
-	s := NewSender(env, f, p.Cfg)
+	s := GetSender(env, f, p.Cfg)
 	f.Src.Bind(f.ID, false, s)
 	s.Launch()
 }

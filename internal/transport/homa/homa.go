@@ -45,8 +45,12 @@ type dataInfo struct {
 	Scheduled bool
 }
 
-// grantInfo rides on Grant packets.
+// grantInfo rides on Grant packets. Instances cycle through an Env pool:
+// the receiver manager Gets one per grant, the sender consumes it in
+// Handle and Puts it straight back (reuse is dirty, so every producer
+// sets both fields).
 type grantInfo struct {
+	transport.PoolNode
 	UpTo int64 // sender may transmit bytes below this offset
 	Prio int8
 }
@@ -73,19 +77,38 @@ func New(cfg Config) *Proto {
 // Name implements transport.Protocol.
 func (*Proto) Name() string { return "homa" }
 
+// RecyclesFlows implements transport.FlowRecycler: Recycle stops the
+// keepalive and retry timers — the only callbacks that could reach a
+// recycled Flow.
+func (*Proto) RecyclesFlows() {}
+
+// Pool keys for the per-flow objects Start draws from the Env.
+var (
+	senderPool    = transport.NewPoolKey("homa.sender")
+	rxFlowPool    = transport.NewPoolKey("homa.rxflow")
+	grantInfoPool = transport.NewPoolKey("homa.grantinfo")
+)
+
+func newGrantInfo() *grantInfo { return &grantInfo{} }
+
 // Start implements transport.Protocol.
 func (p *Proto) Start(env *transport.Env, f *transport.Flow) {
 	cfg := p.Cfg.withDefaults(env)
 	mgr := p.managers[f.Dst.ID()]
 	if mgr == nil {
-		mgr = &rxManager{env: env, cfg: cfg, flows: make(map[uint32]*rxFlow)}
+		mgr = &rxManager{env: env, cfg: cfg,
+			grants: transport.PoolFor(env, grantInfoPool, newGrantInfo)}
 		p.managers[f.Dst.ID()] = mgr
 	}
-	rx := &rxFlow{mgr: mgr, f: f, r: transport.NewReassembly(f.Size), granted: min64(cfg.RTTBytes, f.Size)}
-	mgr.flows[f.ID] = rx
+	rx := transport.PoolFor(env, rxFlowPool, newIdleRxFlow).Get()
+	rx.init(mgr, f)
+	rx.pooled = true
+	mgr.insert(rx)
 	f.Dst.Bind(f.ID, true, rx)
 
-	s := &sender{env: env, f: f, cfg: cfg}
+	s := transport.PoolFor(env, senderPool, newIdleSender).Get()
+	s.init(env, f, cfg)
+	s.pooled = true
 	f.Src.Bind(f.ID, false, s)
 	s.launch()
 }
@@ -102,6 +125,7 @@ func unschedPrio(size, rttBytes int64) int8 {
 
 // sender transmits unscheduled bytes blindly, then obeys grants.
 type sender struct {
+	transport.PoolNode
 	env *transport.Env
 	f   *transport.Flow
 	cfg Config
@@ -109,6 +133,11 @@ type sender struct {
 	sentNext int64     // next new byte to transmit
 	keep     sim.Timer // pre-grant keepalive
 	gotRx    bool      // receiver has spoken (grant or resend arrived)
+	pooled   bool      // drawn from the Env pool (Start)
+
+	// grants is the Env grant-meta pool, cached to skip the registry
+	// lookup on every consumed grant.
+	grants *transport.Pool[*grantInfo]
 
 	// schedInfo/unschedInfo are the only two dataInfo values this sender
 	// ever attaches; packets point at one of them instead of allocating a
@@ -121,10 +150,36 @@ type sender struct {
 	keepFn func()
 }
 
-func (s *sender) launch() {
-	s.schedInfo = dataInfo{Size: s.f.Size, Scheduled: true}
-	s.unschedInfo = dataInfo{Size: s.f.Size}
+// newIdleSender builds an unbound sender shell for the pool.
+func newIdleSender() *sender {
+	s := &sender{}
 	s.keepFn = s.keepFired
+	return s
+}
+
+// init (re)targets the sender at a flow.
+func (s *sender) init(env *transport.Env, f *transport.Flow, cfg Config) {
+	s.env, s.f, s.cfg = env, f, cfg
+	s.sentNext = 0
+	s.keep = sim.Timer{}
+	s.gotRx = false
+	s.grants = transport.PoolFor(env, grantInfoPool, newGrantInfo)
+	s.schedInfo = dataInfo{Size: f.Size, Scheduled: true}
+	s.unschedInfo = dataInfo{Size: f.Size}
+}
+
+// Recycle implements transport.EndpointRecycler.
+func (s *sender) Recycle(env *transport.Env) {
+	s.keep.Stop()
+	if !s.pooled {
+		return
+	}
+	s.pooled = false
+	s.f = nil
+	transport.PoolFor(env, senderPool, newIdleSender).Put(s)
+}
+
+func (s *sender) launch() {
 	unsched := min64(s.cfg.RTTBytes, s.f.Size)
 	// Line-rate blind transmission: dump the whole unscheduled span on
 	// the NIC; it serializes at line rate (the pre-credit burst).
@@ -181,9 +236,12 @@ func (s *sender) Handle(pkt *netsim.Packet) {
 	switch pkt.Kind {
 	case netsim.Grant:
 		gi := pkt.Meta.(*grantInfo)
-		limit := min64(gi.UpTo, s.f.Size)
+		upTo, prio := gi.UpTo, gi.Prio
+		pkt.Meta = nil
+		s.grants.Put(gi)
+		limit := min64(upTo, s.f.Size)
 		for s.sentNext < limit {
-			s.sendChunk(s.sentNext, limit, gi.Prio, true, false)
+			s.sendChunk(s.sentNext, limit, prio, true, false)
 		}
 	case netsim.Ctrl:
 		ri := pkt.Meta.(*resendInfo)
@@ -198,41 +256,77 @@ func (s *sender) Handle(pkt *netsim.Packet) {
 // inbound flows by remaining bytes (SRPT) and keeps grants flowing to
 // the top Overcommit of them.
 type rxManager struct {
-	env   *transport.Env
-	cfg   Config
-	flows map[uint32]*rxFlow
+	env *transport.Env
+	cfg Config
 
-	// active is pump's scratch buffer, reused across calls (pump runs on
-	// every data arrival and never escapes the slice).
-	active []*rxFlow
+	// order holds the inbound flows sorted by (remaining bytes, flow ID)
+	// — the SRPT ranking pump used to recompute with a full sort on every
+	// arrival. An arrival can only shrink its flow's remaining bytes, so
+	// reposition restores the invariant with a leftward bubble; insert
+	// and remove shift the tail. Each rxFlow caches its index in pos.
+	order []*rxFlow
+
+	// grants is the Env grant-meta pool (senders return consumed metas).
+	grants *transport.Pool[*grantInfo]
 }
 
-// pump recomputes the grant schedule after every arrival.
+// rxLess orders a before b under SRPT with flow-ID tie-break — exactly
+// the comparator of the sort.Slice this ordering replaced.
+func rxLess(a, b *rxFlow) bool {
+	ra := a.f.Size - a.r.Received()
+	rb := b.f.Size - b.r.Received()
+	if ra != rb {
+		return ra < rb
+	}
+	return a.f.ID < b.f.ID
+}
+
+// insert places rx at its sorted position.
+func (m *rxManager) insert(rx *rxFlow) {
+	i := sort.Search(len(m.order), func(i int) bool { return rxLess(rx, m.order[i]) })
+	m.order = append(m.order, nil)
+	copy(m.order[i+1:], m.order[i:])
+	m.order[i] = rx
+	for j := i; j < len(m.order); j++ {
+		m.order[j].pos = j
+	}
+}
+
+// remove splices rx out of the order.
+func (m *rxManager) remove(rx *rxFlow) {
+	i := rx.pos
+	copy(m.order[i:], m.order[i+1:])
+	m.order[len(m.order)-1] = nil
+	m.order = m.order[:len(m.order)-1]
+	for j := i; j < len(m.order); j++ {
+		m.order[j].pos = j
+	}
+}
+
+// reposition bubbles rx leftward after an arrival shrank its key.
+func (m *rxManager) reposition(rx *rxFlow) {
+	for rx.pos > 0 && rxLess(rx, m.order[rx.pos-1]) {
+		prev := m.order[rx.pos-1]
+		m.order[rx.pos-1], m.order[rx.pos] = rx, prev
+		prev.pos = rx.pos
+		rx.pos--
+	}
+}
+
+// pump tops up grants for the first Overcommit ungranted flows in SRPT
+// order after every arrival.
 func (m *rxManager) pump() {
-	if len(m.flows) == 0 {
-		return
-	}
-	active := m.active[:0]
-	for _, rx := range m.flows {
-		if rx.granted < rx.f.Size {
-			active = append(active, rx)
-		}
-	}
-	m.active = active
-	sort.Slice(active, func(i, j int) bool {
-		ri := active[i].f.Size - active[i].r.Received()
-		rj := active[j].f.Size - active[j].r.Received()
-		if ri != rj {
-			return ri < rj
-		}
-		return active[i].f.ID < active[j].f.ID
-	})
 	k := m.cfg.Overcommit
-	if k > len(active) {
-		k = len(active)
-	}
-	for rank := 0; rank < k; rank++ {
-		rx := active[rank]
+	rank := 0
+	for _, rx := range m.order {
+		if rank >= k {
+			break
+		}
+		if rx.granted >= rx.f.Size {
+			// Fully granted but not yet fully received: it holds no
+			// downlink credit, so it does not consume an overcommit slot.
+			continue
+		}
 		prio := int8(2 + rank)
 		if prio > 7 {
 			prio = 7
@@ -241,22 +335,60 @@ func (m *rxManager) pump() {
 		for rx.granted-rx.r.Received() < m.cfg.RTTBytes && rx.granted < rx.f.Size {
 			upTo := min64(rx.granted+netsim.MSS, rx.f.Size)
 			g := rx.f.Dst.Ctrl(netsim.Grant, rx.f.ID, rx.f.Src.ID(), 0)
-			g.Meta = &grantInfo{UpTo: upTo, Prio: prio}
+			gi := m.grants.Get()
+			gi.UpTo, gi.Prio = upTo, prio
+			g.Meta = gi
 			rx.f.Dst.Send(g)
 			rx.granted = upTo
 		}
+		rank++
 	}
 }
 
 // rxFlow is one inbound message.
 type rxFlow struct {
+	transport.PoolNode
 	mgr     *rxManager
 	f       *transport.Flow
 	r       *transport.Reassembly
 	granted int64
+	pos     int // index in mgr.order
+	pooled  bool
 	retry   sim.Timer
 	// retryFn is retryFired bound once (see sender.keepFn).
 	retryFn func()
+	// resend is the stable RESEND meta in-flight requests point at (the
+	// schedInfo pattern: delivery is a sink, so one value per flow
+	// suffices).
+	resend resendInfo
+}
+
+// newIdleRxFlow builds an unbound receiver shell for the pool.
+func newIdleRxFlow() *rxFlow {
+	rx := &rxFlow{r: transport.NewReassembly(0)}
+	rx.retryFn = rx.retryFired
+	return rx
+}
+
+// init (re)targets the receiver at a flow.
+func (rx *rxFlow) init(mgr *rxManager, f *transport.Flow) {
+	rx.mgr, rx.f = mgr, f
+	rx.r.Reset(f.Size)
+	rx.granted = min64(mgr.cfg.RTTBytes, f.Size)
+	rx.retry = sim.Timer{}
+	rx.resend = resendInfo{}
+}
+
+// Recycle implements transport.EndpointRecycler.
+func (rx *rxFlow) Recycle(env *transport.Env) {
+	rx.retry.Stop()
+	if !rx.pooled {
+		return
+	}
+	rx.pooled = false
+	rx.f = nil
+	rx.mgr = nil
+	transport.PoolFor(env, rxFlowPool, newIdleRxFlow).Put(rx)
 }
 
 // Handle implements netsim.Endpoint (data arrivals).
@@ -265,15 +397,17 @@ func (rx *rxFlow) Handle(pkt *netsim.Packet) {
 		return
 	}
 	rx.r.Add(pkt.Seq, pkt.PayloadLen)
+	mgr := rx.mgr // survives the Recycle inside Complete
 	if rx.r.Complete() {
 		rx.retry.Stop()
-		delete(rx.mgr.flows, rx.f.ID)
-		rx.mgr.env.Complete(rx.f)
-		rx.mgr.pump()
+		mgr.remove(rx)
+		mgr.env.Complete(rx.f)
+		mgr.pump()
 		return
 	}
+	mgr.reposition(rx)
 	rx.armRetry()
-	rx.mgr.pump()
+	mgr.pump()
 }
 
 // armRetry schedules a timeout-based RESEND for the first gap.
@@ -295,7 +429,8 @@ func (rx *rxFlow) retryFired() {
 		end = miss + rx.mgr.cfg.RTTBytes
 	}
 	req := rx.f.Dst.Ctrl(netsim.Ctrl, rx.f.ID, rx.f.Src.ID(), 0)
-	req.Meta = &resendInfo{Seq: miss, Len: end - miss}
+	rx.resend = resendInfo{Seq: miss, Len: end - miss}
+	req.Meta = &rx.resend
 	rx.f.Dst.Send(req)
 	rx.armRetry()
 }

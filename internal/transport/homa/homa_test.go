@@ -111,10 +111,11 @@ func TestGrantWindowBounded(t *testing.T) {
 	// The receiver must never grant more than RTTbytes beyond received.
 	env := transporttest.NewStarEnv(4)
 	cfg := Config{RTTBytes: 20_000}.withDefaults(env)
-	mgr := &rxManager{env: env, cfg: cfg, flows: make(map[uint32]*rxFlow)}
+	mgr := &rxManager{env: env, cfg: cfg,
+		grants: transport.PoolFor(env, grantInfoPool, newGrantInfo)}
 	f := &transport.Flow{ID: 1, Src: env.Net.Hosts[1], Dst: env.Net.Hosts[0], Size: 1_000_000}
 	rx := &rxFlow{mgr: mgr, f: f, r: transport.NewReassembly(f.Size), granted: cfg.RTTBytes}
-	mgr.flows[1] = rx
+	mgr.insert(rx)
 	mgr.pump()
 	if rx.granted-rx.r.Received() > cfg.RTTBytes {
 		t.Fatalf("outstanding grants %d exceed RTTbytes %d",

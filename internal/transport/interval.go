@@ -11,6 +11,14 @@ type IntervalSet struct {
 	total int64
 }
 
+// Reset empties the set in place, keeping the backing array so a
+// recycled set stops allocating once it has seen its high-water
+// interval count.
+func (s *IntervalSet) Reset() {
+	s.iv = s.iv[:0]
+	s.total = 0
+}
+
 // Add inserts [a, b) and returns how many bytes were newly covered.
 func (s *IntervalSet) Add(a, b int64) int64 {
 	if a >= b {

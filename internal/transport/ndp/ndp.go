@@ -61,9 +61,11 @@ func (p *Proto) Start(env *transport.Env, f *transport.Flow) {
 	pacer := p.pacers[f.Dst.ID()]
 	if pacer == nil {
 		pacer = &pullPacer{env: env, host: f.Dst}
+		pacer.sendFn = pacer.sendOne
 		p.pacers[f.Dst.ID()] = pacer
 	}
 	rx := &receiver{env: env, f: f, r: transport.NewReassembly(f.Size), pacer: pacer}
+	rx.retryFn = rx.retryFired
 	f.Dst.Bind(f.ID, true, rx)
 	s := &sender{env: env, f: f, cfg: cfg}
 	f.Src.Bind(f.ID, false, s)
@@ -129,11 +131,19 @@ func (s *sender) Handle(pkt *netsim.Packet) {
 
 // pullPacer serializes PULL transmission per receiving host at its
 // downlink packet rate, across all of the host's inbound NDP flows.
+// The queue is a head-indexed ring over one backing array: popping by
+// reslicing (queue = queue[1:]) would strand the front capacity, so
+// every append past the high-water mark reallocated — the pacer was one
+// of the hottest allocation sites in the benchmark profile.
 type pullPacer struct {
 	env    *transport.Env
 	host   *netsim.Host
 	queue  []*netsim.Packet
+	head   int
 	pacing bool
+	// sendFn is sendOne bound once; re-arming with a method value would
+	// allocate a closure per pull.
+	sendFn func()
 }
 
 func (pp *pullPacer) enqueue(pull *netsim.Packet) {
@@ -145,16 +155,31 @@ func (pp *pullPacer) enqueue(pull *netsim.Packet) {
 }
 
 func (pp *pullPacer) sendOne() {
-	if len(pp.queue) == 0 {
+	if pp.head == len(pp.queue) {
+		// Drained: rewind to the front of the backing array so future
+		// appends reuse it.
+		pp.queue = pp.queue[:0]
+		pp.head = 0
 		pp.pacing = false
 		return
 	}
-	pull := pp.queue[0]
-	pp.queue[0] = nil
-	pp.queue = pp.queue[1:]
+	pull := pp.queue[pp.head]
+	pp.queue[pp.head] = nil
+	pp.head++
+	// Compact a mostly-consumed queue so a pacer that never fully drains
+	// cannot grow its backing array without bound.
+	if pp.head >= 64 && pp.head*2 >= len(pp.queue) {
+		n := copy(pp.queue, pp.queue[pp.head:])
+		clearTail := pp.queue[n:]
+		for i := range clearTail {
+			clearTail[i] = nil
+		}
+		pp.queue = pp.queue[:n]
+		pp.head = 0
+	}
 	pp.host.Send(pull)
 	gap := pp.host.Rate().TxTime(netsim.MSS + netsim.HeaderBytes)
-	pp.env.Sched().After(gap, pp.sendOne)
+	pp.env.Sched().After(gap, pp.sendFn)
 }
 
 // receiver reassembles, NACKs trimmed arrivals, and pulls.
@@ -164,6 +189,9 @@ type receiver struct {
 	r     *transport.Reassembly
 	pacer *pullPacer
 	retry sim.Timer
+	// retryFn is retryFired bound once; an inline closure would allocate
+	// on every re-arm (once per data arrival).
+	retryFn func()
 }
 
 // Handle implements netsim.Endpoint.
@@ -198,20 +226,25 @@ func (rc *receiver) Handle(pkt *netsim.Packet) {
 // pull and NACK the first gap.
 func (rc *receiver) armRetry() {
 	rc.retry.Stop()
-	rc.retry = rc.env.Sched().After(rc.env.RTO(), func() {
-		if rc.f.Done() || rc.r.Complete() {
-			return
-		}
-		miss := rc.r.FirstMissing()
-		end := rc.r.NextCovered(miss, rc.f.Size)
-		n := int32(min64(end-miss, netsim.MSS))
-		nack := rc.f.Dst.Ctrl(netsim.Ctrl, rc.f.ID, rc.f.Src.ID(), 0)
-		nack.Meta = nackInfo{Seq: miss, Len: n}
-		rc.f.Dst.Send(nack)
-		pull := rc.f.Dst.Ctrl(netsim.Pull, rc.f.ID, rc.f.Src.ID(), 0)
-		rc.pacer.enqueue(pull)
-		rc.armRetry()
-	})
+	if rc.retryFn == nil {
+		rc.retryFn = rc.retryFired
+	}
+	rc.retry = rc.env.Sched().After(rc.env.RTO(), rc.retryFn)
+}
+
+func (rc *receiver) retryFired() {
+	if rc.f.Done() || rc.r.Complete() {
+		return
+	}
+	miss := rc.r.FirstMissing()
+	end := rc.r.NextCovered(miss, rc.f.Size)
+	n := int32(min64(end-miss, netsim.MSS))
+	nack := rc.f.Dst.Ctrl(netsim.Ctrl, rc.f.ID, rc.f.Src.ID(), 0)
+	nack.Meta = nackInfo{Seq: miss, Len: n}
+	rc.f.Dst.Send(nack)
+	pull := rc.f.Dst.Ctrl(netsim.Pull, rc.f.ID, rc.f.Src.ID(), 0)
+	rc.pacer.enqueue(pull)
+	rc.armRetry()
 }
 
 func min64(a, b int64) int64 {

@@ -1,0 +1,90 @@
+package transport
+
+import "testing"
+
+// pooledThing is a minimal Poolable for exercising the freelist.
+type pooledThing struct {
+	PoolNode
+	v int
+}
+
+func TestPoolReusesReturnedStructs(t *testing.T) {
+	p := &Pool[*pooledThing]{newFn: func() *pooledThing { return &pooledThing{} }}
+	a := p.Get()
+	if p.Allocs != 1 || p.Reuses != 0 {
+		t.Fatalf("after first Get: Allocs=%d Reuses=%d", p.Allocs, p.Reuses)
+	}
+	a.v = 42
+	p.Put(a)
+	if p.Frees != 1 || p.Len() != 1 {
+		t.Fatalf("after Put: Frees=%d Len=%d", p.Frees, p.Len())
+	}
+	b := p.Get()
+	if b != a {
+		t.Fatal("Get after Put returned a different struct")
+	}
+	if p.Allocs != 1 || p.Reuses != 1 {
+		t.Fatalf("after reuse: Allocs=%d Reuses=%d", p.Allocs, p.Reuses)
+	}
+	// Pooled structs come back dirty by contract: the caller
+	// re-initializes. Verify the pool did not silently zero it, so the
+	// contract stays honest (producers must set every field).
+	if b.v != 42 {
+		t.Fatalf("pool zeroed struct: v=%d", b.v)
+	}
+}
+
+func TestPoolDoubleFreePanics(t *testing.T) {
+	p := &Pool[*pooledThing]{newFn: func() *pooledThing { return &pooledThing{} }}
+	a := p.Get()
+	p.Put(a)
+	defer func() {
+		r := recover()
+		if r != "transport: pool double-free" {
+			t.Fatalf("recover() = %v, want double-free panic", r)
+		}
+	}()
+	p.Put(a)
+}
+
+func TestPoolForSameKeySamePool(t *testing.T) {
+	env := &Env{}
+	key := NewPoolKey("test.thing")
+	p1 := PoolFor(env, key, func() *pooledThing { return &pooledThing{} })
+	p2 := PoolFor(env, key, func() *pooledThing { return &pooledThing{} })
+	if p1 != p2 {
+		t.Fatal("PoolFor returned distinct pools for the same (env, key)")
+	}
+	// A different Env must get its own pool: reuse never crosses runs.
+	p3 := PoolFor(&Env{}, key, func() *pooledThing { return &pooledThing{} })
+	if p3 == p1 {
+		t.Fatal("pools shared across Envs")
+	}
+}
+
+func TestFlowFreelistReusesAndGuardsDoubleFree(t *testing.T) {
+	env := &Env{}
+	f := env.getFlow()
+	if !f.pooled {
+		t.Fatal("freelist flow not marked pooled")
+	}
+	f.done = true
+	f.Start = 99
+	f.IdentifiedLarge = true
+	env.putFlow(f)
+	g := env.getFlow()
+	if g != f {
+		t.Fatal("getFlow after putFlow returned a different Flow")
+	}
+	if g.done || g.Start != 0 || g.IdentifiedLarge || g.inPool {
+		t.Fatalf("recycled flow carries stale state: %+v", g)
+	}
+	env.putFlow(g)
+	defer func() {
+		r := recover()
+		if r != "transport: flow double-free" {
+			t.Fatalf("recover() = %v, want flow double-free panic", r)
+		}
+	}()
+	env.putFlow(g)
+}

@@ -188,12 +188,18 @@ func (p Proto) Start(env *transport.Env, f *transport.Flow) {
 		f.IdentifiedLarge = true
 	}
 
-	r := newReceiver(env, f, cfg)
+	r := getReceiver(env, f, cfg)
 	f.Dst.Bind(f.ID, true, r)
-	s := newSender(env, f, cfg)
+	s := getSender(env, f, cfg)
 	f.Src.Bind(f.ID, false, s)
 	s.launch()
 }
+
+// RecyclesFlows implements transport.FlowRecycler: Recycle stops every
+// timer either endpoint armed (HCP RTO, LCP pacing/open/dead timers,
+// receiver quiet-flush), so no pending callback can reach a recycled
+// Flow.
+func (Proto) RecyclesFlows() {}
 
 // hcpPrio implements the mirror-symmetric tagging of §4.2 for the high
 // part (P0–P3); the LCP mirror adds 4.
@@ -213,25 +219,56 @@ func hcpPrio(cfg Config, f *transport.Flow, bytesSent int64) int8 {
 }
 
 // sender couples the unchanged DCTCP sender (HCP) with the LCP loop.
+// The struct (with its embedded DCTCP sender and LCP loop) is reusable:
+// init retargets every field at a new flow, and the hot callbacks are
+// bound once at construction so steady-state flows allocate nothing.
 type sender struct {
+	transport.PoolNode
 	env *transport.Env
 	f   *transport.Flow
 	cfg Config
 	dbg *DebugCounters
 	hcp *dctcp.Sender
 	lcp *lcpLoop
+
+	// useLCP mirrors !cfg.DisableLCP; the lcp struct itself is always
+	// present so it can be recycled along with the sender.
+	useLCP bool
+	// pooled marks senders drawn from the Env pool (see getSender).
+	pooled bool
+
+	// prioFn is the HCP priority hook handed to DCTCP, bound once;
+	// rebuilding the closure per flow would allocate.
+	prioFn func(int64) int8
 }
 
-func newSender(env *transport.Env, f *transport.Flow, cfg Config) *sender {
-	s := &sender{env: env, f: f, cfg: cfg, dbg: cfg.debugSink()}
+// newIdleSender builds an unbound sender shell for the pool.
+func newIdleSender() *sender {
+	s := &sender{}
+	s.prioFn = s.hcpPrio
+	s.hcp = dctcp.NewIdleSender()
+	s.lcp = newIdleLCP(s)
+	return s
+}
+
+func (s *sender) hcpPrio(sent int64) int8 { return hcpPrio(s.cfg, s.f, sent) }
+
+// init (re)targets the sender at a flow; a recycled struct after init is
+// indistinguishable from a fresh newSender result.
+func (s *sender) init(env *transport.Env, f *transport.Flow, cfg Config) {
+	s.env, s.f, s.cfg = env, f, cfg
+	s.dbg = cfg.debugSink()
 	dcfg := cfg.DCTCP
-	dcfg.Prio = func(sent int64) int8 { return hcpPrio(cfg, f, sent) }
-	s.hcp = dctcp.NewSender(env, f, dcfg)
-	if !cfg.DisableLCP {
-		s.lcp = newLCPLoop(s)
-		s.hcp.OnAlpha = s.lcp.onAlpha
+	dcfg.Prio = s.prioFn
+	s.hcp.Init(env, f, dcfg)
+	s.useLCP = !cfg.DisableLCP
+	s.lcp.init()
+	if s.useLCP {
+		s.hcp.OnAlpha = s.lcp.alphaFn
 	}
 	if cfg.OnFlowState != nil {
+		// Tracing path: the wrapper closure allocates per flow, which is
+		// fine — dynamics traces run a handful of flows.
 		prev := s.hcp.OnAlpha
 		s.hcp.OnAlpha = func(alpha float64) {
 			if prev != nil {
@@ -241,7 +278,7 @@ func newSender(env *transport.Env, f *transport.Flow, cfg Config) *sender {
 				Cwnd: s.hcp.Cwnd, Alpha: s.hcp.Alpha, Wmax: s.hcp.Wmax,
 				SndUna: s.hcp.SndUna,
 			}
-			if s.lcp != nil {
+			if s.useLCP {
 				st.LCPActive = s.lcp.active
 				st.OppSent = s.lcp.oppSent
 				st.TailNext = s.lcp.tailNext
@@ -249,14 +286,36 @@ func newSender(env *transport.Env, f *transport.Flow, cfg Config) *sender {
 			cfg.OnFlowState(f.ID, env.Now(), st)
 		}
 	}
+}
+
+func newSender(env *transport.Env, f *transport.Flow, cfg Config) *sender {
+	s := newIdleSender()
+	s.init(env, f, cfg)
 	return s
 }
 
 func (s *sender) launch() {
 	s.hcp.Launch()
-	if s.lcp != nil {
+	if s.useLCP {
 		s.lcp.onFlowStart()
 	}
+}
+
+// Recycle implements transport.EndpointRecycler: every timer that could
+// call back into this sender is stopped, then pool-owned structs return
+// to the freelist. Senders built with newSender (tests, traces) are left
+// alone — their creators may still hold them.
+func (s *sender) Recycle(env *transport.Env) {
+	s.hcp.StopTimers()
+	s.lcp.stopTimers()
+	if !s.pooled {
+		return
+	}
+	s.pooled = false
+	s.f = nil
+	s.hcp.OnAlpha = nil
+	s.hcp.OnAck = nil
+	transport.PoolFor(env, senderPool, newIdleSender).Put(s)
 }
 
 // Handle implements netsim.Endpoint: high-priority ACKs feed DCTCP,
@@ -269,7 +328,7 @@ func (s *sender) Handle(pkt *netsim.Packet) {
 		return
 	}
 	if pkt.LowLoop {
-		if s.lcp != nil {
+		if s.useLCP {
 			s.lcp.onLowAck(pkt)
 		}
 		return
@@ -301,6 +360,18 @@ type lcpLoop struct {
 
 	// termination timer: 2 RTTs without low-priority ACKs.
 	deadTimer sim.Timer
+	// openTimer and paceTimer track the delayed case-1 open and the
+	// self-rescheduling pacing chain, so Recycle can cancel them before
+	// the struct is handed to another flow.
+	openTimer sim.Timer
+	paceTimer sim.Timer
+
+	// Callbacks bound once at construction: re-deriving a method value at
+	// every timer arm allocates a closure per event.
+	alphaFn func(float64)
+	paceFn  func()
+	termFn  func()
+	openFn  func()
 
 	// sent/acked accounting.
 	oppSent int64
@@ -311,10 +382,39 @@ type lcpLoop struct {
 	inflight int64
 }
 
-func newLCPLoop(s *sender) *lcpLoop {
+// newIdleLCP builds the loop shell with its callbacks bound; init
+// resets the per-flow state.
+func newIdleLCP(s *sender) *lcpLoop {
 	l := &lcpLoop{s: s}
-	l.tailNext = l.bufferedTail()
+	l.alphaFn = l.onAlpha
+	l.paceFn = l.paceOne
+	l.termFn = l.terminate
+	l.openFn = l.openCase1
 	return l
+}
+
+// init resets the loop for its sender's (re)initialized flow. Must run
+// after the HCP sender's Init: bufferedTail reads its SndUna.
+func (l *lcpLoop) init() {
+	l.active = false
+	l.tailNext = l.bufferedTail()
+	l.budget = 0
+	l.paceGap = 0
+	l.pacing = false
+	l.guarded = false
+	l.alphas = l.alphas[:0]
+	l.deadTimer = sim.Timer{}
+	l.openTimer = sim.Timer{}
+	l.paceTimer = sim.Timer{}
+	l.oppSent = 0
+	l.inflight = 0
+}
+
+// stopTimers cancels every pending callback into the loop.
+func (l *lcpLoop) stopTimers() {
+	l.deadTimer.Stop()
+	l.openTimer.Stop()
+	l.paceTimer.Stop()
 }
 
 // rtt is the loop pacing interval base.
@@ -325,22 +425,24 @@ func (l *lcpLoop) rtt() sim.Time {
 	return l.s.env.BaseRTT()
 }
 
-// onFlowStart opens the case-1 loop: I = BDP − IW, delayed to the 2nd
-// RTT for identified-large flows.
+// onFlowStart opens the case-1 loop, delayed to the 2nd RTT for
+// identified-large flows.
 func (l *lcpLoop) onFlowStart() {
-	open := func() {
-		if l.s.f.Done() {
-			return
-		}
-		l.s.dbg.inc(&l.s.dbg.Case1Opens)
-		i := int64(l.s.env.BDP()) - l.s.hcp.C.InitCwnd
-		l.open(i, false)
-	}
 	if l.s.f.IdentifiedLarge && !l.s.cfg.NoDelayLCPForLarge {
-		l.s.env.Sched().After(l.s.env.BaseRTT(), open)
+		l.openTimer = l.s.env.Sched().After(l.s.env.BaseRTT(), l.openFn)
 		return
 	}
-	open()
+	l.openCase1()
+}
+
+// openCase1 opens the case-1 loop: I = BDP − IW (§3.1).
+func (l *lcpLoop) openCase1() {
+	if l.s.f.Done() {
+		return
+	}
+	l.s.dbg.inc(&l.s.dbg.Case1Opens)
+	i := int64(l.s.env.BDP()) - l.s.hcp.C.InitCwnd
+	l.open(i, false)
 }
 
 // onAlpha is the case-2 trigger: fires on every per-window α update. A
@@ -457,7 +559,7 @@ func (l *lcpLoop) paceOne() {
 	}
 	l.s.dbg.inc(&l.s.dbg.PacedPkts)
 	l.budget -= netsim.MSS
-	l.s.env.Sched().After(l.paceGap, l.paceOne)
+	l.paceTimer = l.s.env.Sched().After(l.paceGap, l.paceFn)
 }
 
 // sendOpportunistic emits one packet from the tail end, skipping ranges
@@ -511,6 +613,10 @@ func (l *lcpLoop) onLowAck(pkt *netsim.Packet) {
 		if l.inflight < 0 {
 			l.inflight = 0
 		}
+		// This sender is the meta's sole consumer: everything it carried
+		// is now folded into Skip/inflight, so hand it back to the pool.
+		pkt.Meta = nil
+		putAckMeta(l.s.env, meta)
 		// Skipping delivered bytes shrinks HCP's in-flight estimate, so
 		// the high loop may be able to transmit right now.
 		l.s.hcp.TrySend()
@@ -529,7 +635,7 @@ func (l *lcpLoop) onLowAck(pkt *netsim.Packet) {
 
 func (l *lcpLoop) resetDeadTimer() {
 	l.deadTimer.Stop()
-	l.deadTimer = l.s.env.Sched().After(2*l.rtt(), l.terminate)
+	l.deadTimer = l.s.env.Sched().After(2*l.rtt(), l.termFn)
 }
 
 // terminate closes the loop after 2 RTTs of ACK silence; a future
@@ -557,11 +663,18 @@ func NewDualLoopReceiver(env *transport.Env, f *transport.Flow) netsim.Endpoint 
 // streams: per-packet high-priority cumulative ACKs for HCP and one
 // low-priority ACK per two opportunistic packets for LCP.
 type receiver struct {
+	transport.PoolNode
 	env *transport.Env
 	f   *transport.Flow
 	cfg Config
 	dbg *DebugCounters
 	r   *transport.Reassembly
+
+	// pooled marks receivers drawn from the Env pool (see getReceiver).
+	pooled bool
+	// flushFn is flushPending bound once; arming with a fresh method
+	// value would allocate per quiet period.
+	flushFn func()
 
 	// pending buffers the last unacknowledged opportunistic arrival.
 	pendingSeq  int64
@@ -576,8 +689,79 @@ type receiver struct {
 	flushTimer sim.Timer
 }
 
+// newIdleReceiver builds an unbound receiver shell for the pool.
+func newIdleReceiver() *receiver {
+	rc := &receiver{r: transport.NewReassembly(0)}
+	rc.flushFn = rc.flushPending
+	return rc
+}
+
+// init (re)targets the receiver at a flow, clearing any pending-arrival
+// state a previous flow left behind.
+func (rc *receiver) init(env *transport.Env, f *transport.Flow, cfg Config) {
+	rc.env, rc.f, rc.cfg = env, f, cfg
+	rc.dbg = cfg.debugSink()
+	rc.r.Reset(f.Size)
+	rc.pendingSeq, rc.pendingLen, rc.pendingCE = 0, 0, false
+	rc.pendingTS, rc.pendingPrio = 0, 0
+	rc.hasPending = false
+	rc.flushTimer = sim.Timer{}
+}
+
 func newReceiver(env *transport.Env, f *transport.Flow, cfg Config) *receiver {
-	return &receiver{env: env, f: f, cfg: cfg, dbg: cfg.debugSink(), r: transport.NewReassembly(f.Size)}
+	rc := newIdleReceiver()
+	rc.init(env, f, cfg)
+	return rc
+}
+
+// Pool keys for the per-flow objects Proto.Start draws from the Env.
+var (
+	senderPool   = transport.NewPoolKey("ppt.sender")
+	receiverPool = transport.NewPoolKey("ppt.receiver")
+	ackMetaPool  = transport.NewPoolKey("ppt.ackmeta")
+)
+
+func newAckMeta() *transport.AckMeta { return &transport.AckMeta{} }
+
+// getAckMeta draws a low-ACK meta from the run pool. Reuse is dirty:
+// every producer sets all fields. The PPT sender returns consumed metas
+// via putAckMeta; foreign consumers (the MW oracle, Swift's low loop)
+// never Put, which just leaves those metas to the garbage collector.
+func getAckMeta(env *transport.Env) *transport.AckMeta {
+	return transport.PoolFor(env, ackMetaPool, newAckMeta).Get()
+}
+
+func putAckMeta(env *transport.Env, m *transport.AckMeta) {
+	transport.PoolFor(env, ackMetaPool, newAckMeta).Put(m)
+}
+
+// getSender returns an initialized sender from env's pool; it returns
+// to the pool via Recycle when its flow completes.
+func getSender(env *transport.Env, f *transport.Flow, cfg Config) *sender {
+	s := transport.PoolFor(env, senderPool, newIdleSender).Get()
+	s.init(env, f, cfg)
+	s.pooled = true
+	return s
+}
+
+// getReceiver is the receiver-side analogue of getSender.
+func getReceiver(env *transport.Env, f *transport.Flow, cfg Config) *receiver {
+	rc := transport.PoolFor(env, receiverPool, newIdleReceiver).Get()
+	rc.init(env, f, cfg)
+	rc.pooled = true
+	return rc
+}
+
+// Recycle implements transport.EndpointRecycler: cancel the quiet-flush
+// timer, then return pool-owned receivers to the freelist.
+func (rc *receiver) Recycle(env *transport.Env) {
+	rc.flushTimer.Stop()
+	if !rc.pooled {
+		return
+	}
+	rc.pooled = false
+	rc.f = nil
+	transport.PoolFor(env, receiverPool, newIdleReceiver).Put(rc)
 }
 
 // Handle implements netsim.Endpoint.
@@ -620,17 +804,16 @@ func (rc *receiver) onOpportunistic(pkt *netsim.Packet) {
 		rc.pendingTS, rc.pendingPrio = pkt.SentAt, pkt.Prio
 		rc.hasPending = true
 		rc.flushTimer.Stop()
-		rc.flushTimer = rc.env.Sched().After(2*rc.env.BaseRTT(), rc.flushPending)
+		rc.flushTimer = rc.env.Sched().After(2*rc.env.BaseRTT(), rc.flushFn)
 		return
 	}
 	rc.flushTimer.Stop()
 	rc.flushTimer = sim.Timer{}
-	meta := &transport.AckMeta{
-		LowSeqs:      [2]int64{rc.pendingSeq, pkt.Seq},
-		LowLens:      [2]int32{rc.pendingLen, pkt.PayloadLen},
-		LowN:         2,
-		TailFrontier: rc.r.TailFrontier(),
-	}
+	meta := getAckMeta(rc.env)
+	meta.LowSeqs = [2]int64{rc.pendingSeq, pkt.Seq}
+	meta.LowLens = [2]int32{rc.pendingLen, pkt.PayloadLen}
+	meta.LowN = 2
+	meta.TailFrontier = rc.r.TailFrontier()
 	rc.hasPending = false
 	ack := rc.f.Dst.Ctrl(netsim.Ack, rc.f.ID, rc.f.Src.ID(), pkt.Prio)
 	ack.LowLoop = true
@@ -649,12 +832,11 @@ func (rc *receiver) flushPending() {
 	if !rc.hasPending || rc.f.Done() {
 		return
 	}
-	meta := &transport.AckMeta{
-		LowSeqs:      [2]int64{rc.pendingSeq, 0},
-		LowLens:      [2]int32{rc.pendingLen, 0},
-		LowN:         1,
-		TailFrontier: rc.r.TailFrontier(),
-	}
+	meta := getAckMeta(rc.env)
+	meta.LowSeqs = [2]int64{rc.pendingSeq, 0}
+	meta.LowLens = [2]int32{rc.pendingLen, 0}
+	meta.LowN = 1
+	meta.TailFrontier = rc.r.TailFrontier()
 	rc.hasPending = false
 	rc.flushTimer = sim.Timer{}
 	ack := rc.f.Dst.Ctrl(netsim.Ack, rc.f.ID, rc.f.Src.ID(), rc.pendingPrio)

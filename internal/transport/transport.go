@@ -10,6 +10,7 @@ package transport
 
 import (
 	"fmt"
+	"sort"
 
 	"ppt/internal/netsim"
 	"ppt/internal/sim"
@@ -34,6 +35,12 @@ type Flow struct {
 	IdentifiedLarge bool
 
 	done bool
+
+	// pooled marks flows owned by the run freelist (built by Run's
+	// releaser); flows constructed directly by experiment code are never
+	// recycled. inPool is the double-free guard.
+	pooled bool
+	inPool bool
 }
 
 // Env is the shared environment endpoints run in.
@@ -49,7 +56,17 @@ type Env struct {
 	stopWhenDone bool
 
 	// OnComplete, when set, observes each completion (after recording).
+	// Observers must not retain the *Flow past the callback: under a
+	// flow-recycling protocol the struct is reused for a later arrival.
 	OnComplete func(*Flow)
+
+	// pools is the per-run endpoint pool registry (see PoolFor).
+	pools map[*PoolKey]any
+
+	// flowFree is the run-scoped Flow freelist; recycleFlows gates it on
+	// the protocol implementing FlowRecycler.
+	flowFree     []*Flow
+	recycleFlows bool
 }
 
 // NewEnv builds an environment over a fabric.
@@ -83,8 +100,11 @@ func (e *Env) RTO() sim.Time {
 	return rto
 }
 
-// Complete records a finished flow, unbinds its endpoints, and stops the
-// run loop when the last tracked flow finishes.
+// Complete records a finished flow, unbinds its endpoints (recycling
+// any that implement EndpointRecycler), and stops the run loop when the
+// last tracked flow finishes. Flows drawn from the run freelist return
+// to it here, once the protocol has vouched (via FlowRecycler) that no
+// stale timer can still reach them.
 func (e *Env) Complete(f *Flow) {
 	if f.done {
 		return
@@ -92,10 +112,19 @@ func (e *Env) Complete(f *Flow) {
 	f.done = true
 	e.Collector.Complete(f.ID, f.Size, f.Start, e.Now())
 	e.Eff.UsefulDelivered += f.Size
-	f.Src.Unbind(f.ID, false)
-	f.Dst.Unbind(f.ID, true)
+	src := f.Src.Unbind(f.ID, false)
+	dst := f.Dst.Unbind(f.ID, true)
+	if r, ok := src.(EndpointRecycler); ok {
+		r.Recycle(e)
+	}
+	if r, ok := dst.(EndpointRecycler); ok {
+		r.Recycle(e)
+	}
 	if e.OnComplete != nil {
 		e.OnComplete(f)
+	}
+	if f.pooled && e.recycleFlows {
+		e.putFlow(f)
 	}
 	if e.stopWhenDone {
 		e.remaining--
@@ -103,6 +132,33 @@ func (e *Env) Complete(f *Flow) {
 			e.Sched().Stop()
 		}
 	}
+}
+
+// getFlow draws a Flow from the run freelist (or allocates one) and
+// resets the fields the releaser does not overwrite.
+func (e *Env) getFlow() *Flow {
+	if n := len(e.flowFree); n > 0 {
+		f := e.flowFree[n-1]
+		e.flowFree[n-1] = nil
+		e.flowFree = e.flowFree[:n-1]
+		f.inPool = false
+		f.done = false
+		f.IdentifiedLarge = false
+		f.Start = 0
+		return f
+	}
+	return &Flow{pooled: true}
+}
+
+// putFlow returns a released flow to the freelist. Returning the same
+// flow twice panics: two owners would corrupt a later transfer.
+func (e *Env) putFlow(f *Flow) {
+	if f.inPool {
+		panic("transport: flow double-free")
+	}
+	f.inPool = true
+	f.Src, f.Dst = nil, nil
+	e.flowFree = append(e.flowFree, f)
 }
 
 // Done reports whether the flow has completed.
@@ -137,40 +193,90 @@ type SimpleFlow struct {
 	FirstCall int64
 }
 
+// releaser is Run's rolling arrival cursor: instead of materializing a
+// *Flow, a capturing closure, and a scheduler event per flow before the
+// run starts, one timer walks an arrival-sorted view of the workload and
+// releases each batch of same-timestamp flows when its moment comes.
+// Peak pre-run state drops from O(flows) heap objects to one event, and
+// the Flow structs themselves come from the Env freelist when the
+// protocol supports recycling.
+type releaser struct {
+	env   *Env
+	proto Protocol
+	flows []SimpleFlow // sorted by Arrive, input order preserved on ties
+	next  int
+	// fireFn is fire bound once; re-arming with a fresh method value
+	// would allocate per batch.
+	fireFn func()
+}
+
+// fire releases every flow whose arrival time has come, then re-arms
+// for the next pending arrival. Same-timestamp flows start in input
+// order — exactly the (time, seq) order the per-flow events of the old
+// scheme gave them.
+func (rel *releaser) fire() {
+	env := rel.env
+	now := env.Now()
+	for rel.next < len(rel.flows) && rel.flows[rel.next].Arrive <= now {
+		wf := &rel.flows[rel.next]
+		rel.next++
+		f := env.getFlow()
+		f.ID = wf.ID
+		f.Src = env.Net.Hosts[wf.Src]
+		f.Dst = env.Net.Hosts[wf.Dst]
+		f.Size = wf.Size
+		f.FirstCall = wf.FirstCall
+		if f.FirstCall == 0 {
+			f.FirstCall = wf.Size
+		}
+		f.Start = now
+		rel.proto.Start(env, f)
+	}
+	if rel.next < len(rel.flows) {
+		env.Sched().At(rel.flows[rel.next].Arrive, rel.fireFn)
+	}
+}
+
+// arrivalSorted reports whether flows are already in arrival order (the
+// workload generator emits them sorted, so the common case avoids the
+// copy).
+func arrivalSorted(flows []SimpleFlow) bool {
+	for i := 1; i < len(flows); i++ {
+		if flows[i].Arrive < flows[i-1].Arrive {
+			return false
+		}
+	}
+	return true
+}
+
 // Run releases flows at their arrival times under proto and runs the
 // simulation until every flow completes (or a safety bound trips). It
 // returns the FCT summary.
 func Run(env *Env, proto Protocol, flows []SimpleFlow, cfg RunConfig) stats.Summary {
 	env.remaining = len(flows)
 	env.stopWhenDone = true
+	env.Collector.Reserve(len(flows))
+	_, env.recycleFlows = proto.(FlowRecycler)
 	sched := env.Sched()
 	if cfg.MaxEvents == 0 {
 		cfg.MaxEvents = 2_000_000_000
 	}
 	sched.Limit = sched.Executed + cfg.MaxEvents
-	for i := range flows {
-		wf := flows[i]
-		firstCall := wf.FirstCall
-		if firstCall == 0 {
-			firstCall = wf.Size
+	if len(flows) > 0 {
+		rel := &releaser{env: env, proto: proto, flows: flows}
+		if !arrivalSorted(flows) {
+			rel.flows = append([]SimpleFlow(nil), flows...)
+			sort.SliceStable(rel.flows, func(i, j int) bool { return rel.flows[i].Arrive < rel.flows[j].Arrive })
 		}
-		f := &Flow{
-			ID:        wf.ID,
-			Src:       env.Net.Hosts[wf.Src],
-			Dst:       env.Net.Hosts[wf.Dst],
-			Size:      wf.Size,
-			FirstCall: firstCall,
-		}
-		sched.At(wf.Arrive, func() {
-			f.Start = env.Now()
-			proto.Start(env, f)
-		})
+		rel.fireFn = rel.fire
+		sched.At(rel.flows[0].Arrive, rel.fireFn)
 	}
 	deadline := sim.MaxTime
 	if cfg.Deadline != 0 {
 		deadline = cfg.Deadline
 	}
 	sched.RunUntil(deadline)
+	env.recycleFlows = false
 	// Account host-NIC payload counters into the efficiency summary.
 	for _, h := range env.Net.Hosts {
 		env.Eff.SentPayload += h.NIC().Stats.TxDataBytes
@@ -195,6 +301,13 @@ type Reassembly struct {
 
 // NewReassembly tracks a flow of the given size.
 func NewReassembly(size int64) *Reassembly { return &Reassembly{Size: size} }
+
+// Reset re-targets a recycled Reassembly at a new flow, keeping the
+// interval set's backing array so steady-state reuse does not allocate.
+func (r *Reassembly) Reset(size int64) {
+	r.Size = size
+	r.set.Reset()
+}
 
 // Add records payload [seq, seq+n) and returns the newly covered bytes.
 func (r *Reassembly) Add(seq int64, n int32) int64 {
