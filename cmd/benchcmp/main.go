@@ -20,10 +20,19 @@
 // allocations; exceeding the factor means per-flow allocation crept
 // back in.
 //
+// Sharded entries (a name of the form X-s<k>, e.g. scale30k-s4) pair
+// with their serial partner X within the fresh file and are reported as
+// a wall-clock speedup column — both runs come from the same process on
+// the same machine, so no normalization applies. The column is
+// informational when the fresh machine has fewer CPUs than the entry's
+// worker count (the workers just time-slice one core); with enough CPUs
+// a -min-speedup bound turns it into a gate.
+//
 // Usage:
 //
 //	benchcmp -base BENCH_2026-08-06.json -fresh bench.json [-threshold 15]
-//	         [-alloc-threshold 20] [-scale-growth 10] [-report-only] [-no-normalize]
+//	         [-alloc-threshold 20] [-scale-growth 10] [-min-speedup 0]
+//	         [-report-only] [-no-normalize]
 package main
 
 import (
@@ -31,6 +40,8 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strconv"
+	"strings"
 
 	"ppt/internal/benchfmt"
 )
@@ -42,6 +53,7 @@ func main() {
 		threshold   = flag.Float64("threshold", 15, "max allowed ns/op regression, percent")
 		allocThresh = flag.Float64("alloc-threshold", 20, "max allowed allocs/op regression, percent (0 disables)")
 		scaleGrowth = flag.Float64("scale-growth", 10, "max allocs/op ratio scale30k/scale3k (0 disables)")
+		minSpeedup  = flag.Float64("min-speedup", 0, "min wall-clock speedup of each X-s<k> entry over its serial partner X; gates only when the fresh machine has >= k CPUs (0 disables)")
 		reportOnly  = flag.Bool("report-only", false, "print the comparison but always exit 0 (PR mode)")
 		noNormalize = flag.Bool("no-normalize", false, "compare raw ns/op without machine-speed normalization")
 	)
@@ -146,11 +158,36 @@ func main() {
 		}
 	}
 
-	failed := nsFailed + allocFailed + growthFailed
+	// Wall-clock speedup of sharded entries over their serial partners.
+	// Both halves of a pair come from the same fresh run, so the raw
+	// ns/op ratio is a genuine same-machine measurement.
+	speedupFailed := 0
+	for _, f := range fresh.Entries {
+		serialName, workers, ok := shardPartner(f.Name)
+		if !ok {
+			continue
+		}
+		serial, okS := freshBy[serialName]
+		if !okS || f.NsPerOp <= 0 {
+			continue
+		}
+		speedup := float64(serial.NsPerOp) / float64(f.NsPerOp)
+		verdict := ""
+		switch {
+		case fresh.NumCPU < workers:
+			verdict = fmt.Sprintf(" (informational: %d workers on %d cpu)", workers, fresh.NumCPU)
+		case *minSpeedup > 0 && speedup < *minSpeedup:
+			verdict = fmt.Sprintf("  SPEEDUP-REGRESSION (want >= %.2fx)", *minSpeedup)
+			speedupFailed++
+		}
+		fmt.Printf("speedup: %s vs %s = %.2fx%s\n", f.Name, serialName, speedup, verdict)
+	}
+
+	failed := nsFailed + allocFailed + growthFailed + speedupFailed
 	if failed > 0 {
-		fmt.Printf("benchcmp: %d regression%s (%d ns/op beyond %.0f%%, %d allocs/op beyond %.0f%%, %d scale growth)\n",
+		fmt.Printf("benchcmp: %d regression%s (%d ns/op beyond %.0f%%, %d allocs/op beyond %.0f%%, %d scale growth, %d speedup)\n",
 			failed, map[bool]string{true: "", false: "s"}[failed == 1],
-			nsFailed, *threshold, allocFailed, *allocThresh, growthFailed)
+			nsFailed, *threshold, allocFailed, *allocThresh, growthFailed, speedupFailed)
 		if !*reportOnly {
 			os.Exit(1)
 		}
@@ -158,4 +195,18 @@ func main() {
 	} else {
 		fmt.Println("benchcmp: no regressions beyond thresholds")
 	}
+}
+
+// shardPartner splits a sharded bench name "X-s<k>" into its serial
+// partner "X" and worker count k; ok is false for any other name.
+func shardPartner(name string) (serial string, workers int, ok bool) {
+	i := strings.LastIndex(name, "-s")
+	if i <= 0 {
+		return "", 0, false
+	}
+	k, err := strconv.Atoi(name[i+2:])
+	if err != nil || k < 1 {
+		return "", 0, false
+	}
+	return name[:i], k, true
 }

@@ -32,6 +32,15 @@ var scaleCases = []struct {
 // scaleSchemes restricts the scale family's comparison cells.
 var scaleSchemes = []string{"ppt", "dctcp"}
 
+// scaleShardWorkers is the worker cap of the sharded scale entries
+// (scale3k-s4 / scale30k-s4): the same workloads as their serial
+// partners but with up to 4 worker goroutines executing the windowed
+// engine's shards, so benchcmp can report per-pair wall-clock speedup.
+// On machines with fewer than 4 CPUs the pair still runs (results are
+// identical by construction) but measures oversubscribed goroutines;
+// benchcmp treats the speedup column as informational there.
+const scaleShardWorkers = 4
+
 // benchOne runs one experiment serially and measures wall time and the
 // process-wide allocation delta around it.
 func benchOne(name, id string, o exp.Options) (benchfmt.Entry, error) {
@@ -94,15 +103,21 @@ func writeBenchJSON(path string, opts exp.Options) error {
 			e.ID, entry.NsPerOp, entry.AllocsPerOp, entry.EventsPerSec/1e6)
 	}
 	for _, sc := range scaleCases {
-		o := exp.Options{Flows: sc.flows, Seed: opts.Seed, Parallel: 1, Sched: opts.Sched,
-			Schemes: scaleSchemes}
-		entry, err := benchOne(sc.name, "fig12", o)
-		if err != nil {
-			return err
+		for _, shards := range []int{1, scaleShardWorkers} {
+			name := sc.name
+			if shards > 1 {
+				name = fmt.Sprintf("%s-s%d", sc.name, shards)
+			}
+			o := exp.Options{Flows: sc.flows, Seed: opts.Seed, Parallel: 1, Sched: opts.Sched,
+				Schemes: scaleSchemes, Shards: shards}
+			entry, err := benchOne(name, "fig12", o)
+			if err != nil {
+				return err
+			}
+			out.Entries = append(out.Entries, entry)
+			fmt.Fprintf(os.Stderr, "%-12s %12d ns/op %10d allocs/op %8.2f Mevents/s\n",
+				name, entry.NsPerOp, entry.AllocsPerOp, entry.EventsPerSec/1e6)
 		}
-		out.Entries = append(out.Entries, entry)
-		fmt.Fprintf(os.Stderr, "%-8s %12d ns/op %10d allocs/op %8.2f Mevents/s\n",
-			sc.name, entry.NsPerOp, entry.AllocsPerOp, entry.EventsPerSec/1e6)
 	}
 	return out.Write(path)
 }

@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"ppt/internal/exp"
+	"ppt/internal/sim"
 )
 
 func main() {
@@ -43,6 +44,7 @@ func main() {
 		progress = flag.Bool("progress", false, "report per-cell progress on stderr")
 		schemes  = flag.String("schemes", "", "comma-separated scheme filter (e.g. ppt,dctcp)")
 		sched    = flag.String("sched", "wheel", "event-queue implementation: wheel (hierarchical timing wheel) or heap (4-ary min-heap); results are identical, speed is not")
+		shards   = flag.Int("shards", 1, "worker-goroutine cap for the windowed sharded engine on leaf-spine fabrics (results are identical at any value >= 1)")
 		asCSV    = flag.Bool("csv", false, "emit results as CSV instead of tables")
 		asJSON   = flag.Bool("json", false, "emit results as JSON instead of tables")
 
@@ -52,6 +54,25 @@ func main() {
 		benchjson  = flag.String("benchjson", "", "benchmark every experiment once and write ns/op, allocs/op and events/sec to this JSON file (e.g. BENCH_2026-08-06.json)")
 	)
 	flag.Parse()
+
+	// Validate engine knobs up front, before any (possibly long) run
+	// starts, so a typo fails in milliseconds with a usable message.
+	if _, err := sim.ParseImpl(*sched); err != nil {
+		fmt.Fprintf(os.Stderr, "pptsim: invalid -sched %q: %v\n", *sched, err)
+		os.Exit(2)
+	}
+	if *parallel < 0 {
+		fmt.Fprintf(os.Stderr, "pptsim: invalid -parallel %d: want 0 (= GOMAXPROCS) or a positive worker count\n", *parallel)
+		os.Exit(2)
+	}
+	if *shards < 1 {
+		fmt.Fprintf(os.Stderr, "pptsim: invalid -shards %d: want a positive worker cap (1 = single-threaded windowed engine)\n", *shards)
+		os.Exit(2)
+	}
+	if *repeats < 1 {
+		fmt.Fprintf(os.Stderr, "pptsim: invalid -repeats %d: want a positive repeat count\n", *repeats)
+		os.Exit(2)
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -93,7 +114,7 @@ func main() {
 		}()
 	}
 
-	opts := exp.Options{Flows: *flows, Load: *load, Seed: *seed, Repeats: *repeats, Parallel: *parallel, Sched: *sched}
+	opts := exp.Options{Flows: *flows, Load: *load, Seed: *seed, Repeats: *repeats, Parallel: *parallel, Sched: *sched, Shards: *shards}
 	if *schemes != "" {
 		opts.Schemes = strings.Split(*schemes, ",")
 	}

@@ -44,6 +44,14 @@ type Options struct {
 	// byte-identical either way (pinned by the golden tests); the knob
 	// exists for perf A/Bs. Validated by RunByID.
 	Sched string
+	// Shards sets the logical shard count hint for partitionable
+	// fabrics (0 = default 1). On leaf-spine fabrics running shardable
+	// protocols it enables the conservative windowed engine and caps the
+	// worker goroutines per cell at min(Shards, shards-in-topology);
+	// results are byte-identical at every setting >= 1 (pinned by the
+	// golden matrix). Star/dumbbell fabrics and non-shardable protocols
+	// ignore it. Validated by RunByID.
+	Shards int
 
 	// errs accumulates failed cells; RunByID surfaces them as notes.
 	errs *errSink
@@ -62,6 +70,9 @@ func (o Options) withDefaults(defFlows int) Options {
 	}
 	if o.Repeats == 0 {
 		o.Repeats = 1
+	}
+	if o.Shards == 0 {
+		o.Shards = 1
 	}
 	if o.errs == nil {
 		o.errs = &errSink{}
@@ -289,6 +300,9 @@ func RunByID(id string, o Options) (*Result, error) {
 	}
 	if _, err := sim.ParseImpl(o.Sched); err != nil {
 		return nil, err
+	}
+	if o.Shards < 0 {
+		return nil, fmt.Errorf("exp: invalid shard count %d (want >= 1, or 0 for the default)", o.Shards)
 	}
 	o = o.withDefaults(e.DefFlows)
 	res := e.Run(o)

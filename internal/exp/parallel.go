@@ -89,11 +89,12 @@ func (p *pool) submit(label string, fn func()) *poolJob {
 func (p *pool) submitSpec(label string, spec runSpec) *cellOut {
 	out := &cellOut{}
 	spec.sched = p.opts.schedImpl()
+	spec.shards = p.opts.Shards
 	events := p.opts.events
 	out.job = p.submit(label, func() {
 		out.sum, out.env = execute(spec)
 		if events != nil {
-			atomic.AddUint64(events, out.env.Net.Sched.Executed)
+			atomic.AddUint64(events, out.env.Net.Executed())
 		}
 	})
 	return out

@@ -1,0 +1,7 @@
+//go:build race
+
+package exp
+
+// raceEnabled reports whether this test binary was built with the race
+// detector; long randomized tests shrink their workloads under it.
+const raceEnabled = true

@@ -188,6 +188,11 @@ type runSpec struct {
 	// sched is the event-queue implementation for this cell's scheduler
 	// (from Options.Sched; zero value = wheel).
 	sched sim.Impl
+	// shards is the partition hint for this cell (from Options.Shards;
+	// applied only when the fabric partitions and the protocol is
+	// shardable, so non-windowed cells stay byte-for-byte on the legacy
+	// monolithic path).
+	shards int
 }
 
 // execute builds the fabric, generates flows, and runs to completion,
@@ -197,6 +202,13 @@ func execute(spec runSpec) (stats.Summary, *transport.Env) {
 	cfg.Sched = spec.sched
 	if spec.sc.tweak != nil {
 		spec.sc.tweak(&cfg)
+	}
+	// Partition only for protocols that implement the windowed engine's
+	// split start; every maker ignores its env argument, so probing with
+	// nil is safe and the probe doubles as the run's protocol instance.
+	proto := spec.sc.make(nil)
+	if _, ok := proto.(transport.ShardableProtocol); ok && spec.shards >= 1 {
+		cfg.Shards = spec.shards
 	}
 	net := spec.fab.build(cfg)
 	env := transport.NewEnv(net)
@@ -226,7 +238,6 @@ func execute(spec runSpec) (stats.Summary, *transport.Env) {
 			Arrive: f.Arrive, FirstCall: firstCalls[i],
 		}
 	}
-	proto := spec.sc.make(env)
 	sum := transport.Run(env, proto, flows, transport.RunConfig{})
 	return sum, env
 }

@@ -1,0 +1,187 @@
+package netsim
+
+import (
+	"ppt/internal/sim"
+)
+
+// Cross-shard wires for the conservative time-windowed parallel engine
+// (see DESIGN.md §7.3). A partitioned fabric gives every shard its own
+// scheduler; a wire whose two ends live in different shards cannot use
+// the normal Port wire/After propagation path, because the receiving
+// device belongs to another shard's event loop. Instead the sending
+// port deposits the packet into its shard's Outbox, stamped with the
+// absolute delivery time now+Delay, and the run driver moves deposits
+// into the destination shards' Inboxes at the next window barrier.
+//
+// Conservativeness: windows are at most min(Delay over cross-shard
+// wires) wide, so a packet transmitted inside window k is always
+// delivered at or after the k+1 barrier — the merge never has to insert
+// an event into a shard's past.
+//
+// Determinism: delivery order within a shard is the canonical
+// (At, Src, Seq) total order, where Src is the depositing shard and Seq
+// a per-source deposit counter that never resets. The key is a total
+// order (Seq never repeats within a Src), so the sorted merge result is
+// independent of outbox iteration order and of how many worker threads
+// executed the window.
+
+// CrossEntry is one packet in flight across a shard boundary.
+type CrossEntry struct {
+	At   sim.Time // absolute delivery time at the far end of the wire
+	Src  int32    // depositing shard
+	Seq  uint64   // per-source deposit counter (merge tie-break)
+	Dst  int32    // destination shard
+	Pkt  *Packet
+	Port *Port // the cross-shard port; its peer receives Pkt
+}
+
+// Outbox collects the packets one shard sent across its boundary during
+// the current window. It is written only by that shard's event loop and
+// drained only by the driver at the barrier, so it needs no locking.
+type Outbox struct {
+	shard   int32
+	seq     uint64
+	entries []CrossEntry
+}
+
+// NewOutbox returns the outbox for the given source shard.
+func NewOutbox(shard int) *Outbox { return &Outbox{shard: int32(shard)} }
+
+// deposit records a packet leaving the shard on port p, due at the
+// far end at time at.
+func (o *Outbox) deposit(at sim.Time, pkt *Packet, p *Port, dst int32) {
+	o.entries = append(o.entries, CrossEntry{At: at, Src: o.shard, Seq: o.seq, Dst: dst, Pkt: pkt, Port: p})
+	o.seq++
+}
+
+// Inbox holds the cross-shard packets due for delivery inside one
+// shard, sorted by the canonical order. The driver appends and sorts at
+// barriers (while the shard is quiescent); the shard's own event loop
+// pops due entries via the armed timer.
+type Inbox struct {
+	sched   *sim.Scheduler
+	pending []CrossEntry
+	timer   sim.Timer
+	armedAt sim.Time
+	dirty   bool
+	fireFn  func()
+}
+
+// NewInbox returns an inbox delivering into the given shard scheduler.
+func NewInbox(s *sim.Scheduler) *Inbox {
+	in := &Inbox{sched: s}
+	in.fireFn = in.fire
+	return in
+}
+
+// fire delivers every pending entry due now (already in canonical
+// order) and re-arms for the next one.
+func (in *Inbox) fire() {
+	now := in.sched.Now()
+	n := 0
+	for n < len(in.pending) && in.pending[n].At == now {
+		e := &in.pending[n]
+		e.Port.deliverCross(e.Pkt)
+		n++
+	}
+	rem := copy(in.pending, in.pending[n:])
+	for i := rem; i < len(in.pending); i++ {
+		in.pending[i] = CrossEntry{}
+	}
+	in.pending = in.pending[:rem]
+	if rem > 0 {
+		in.armedAt = in.pending[0].At
+		in.timer = in.sched.At(in.armedAt, in.fireFn)
+	}
+}
+
+// MergeWindows moves every outbox deposit into the destination inboxes,
+// restores each touched inbox's canonical (At, Src, Seq) order, and
+// (re-)arms delivery timers. It must run at a window barrier, when
+// every shard's event loop is quiescent; every merged entry's At lies
+// at or beyond the next window start, so arming is never in a shard's
+// past.
+func MergeWindows(outboxes []*Outbox, inboxes []*Inbox) {
+	for _, o := range outboxes {
+		for i := range o.entries {
+			e := &o.entries[i]
+			in := inboxes[e.Dst]
+			in.pending = append(in.pending, *e)
+			in.dirty = true
+			*e = CrossEntry{}
+		}
+		o.entries = o.entries[:0]
+	}
+	for _, in := range inboxes {
+		if !in.dirty {
+			continue
+		}
+		in.dirty = false
+		p := in.pending
+		sortCross(p)
+		head := p[0].At
+		if !in.timer.Pending() || head < in.armedAt {
+			in.timer.Stop()
+			in.armedAt = head
+			in.timer = in.sched.At(head, in.fireFn)
+		}
+	}
+}
+
+// crossLess is the canonical merge order. (At, Src, Seq) is a strict
+// total order — Seq never repeats within a Src — so every comparison
+// sort produces the same permutation and stability is irrelevant.
+func crossLess(a, b *CrossEntry) bool {
+	if a.At != b.At {
+		return a.At < b.At
+	}
+	if a.Src != b.Src {
+		return a.Src < b.Src
+	}
+	return a.Seq < b.Seq
+}
+
+// sortCross sorts entries into canonical order in place without
+// allocating: sort.Slice builds a reflect-based swapper (two heap
+// objects) per call, and at one call per dirty inbox per window
+// barrier that dominated the windowed engine's allocation profile.
+// Pending batches are small most windows — insertion sort handles
+// those in near-linear time on the mostly-sorted appends — with an
+// in-place heapsort above the cutoff to keep worst-case incast
+// windows O(n log n).
+func sortCross(p []CrossEntry) {
+	if len(p) <= 24 {
+		for i := 1; i < len(p); i++ {
+			for j := i; j > 0 && crossLess(&p[j], &p[j-1]); j-- {
+				p[j], p[j-1] = p[j-1], p[j]
+			}
+		}
+		return
+	}
+	for i := len(p)/2 - 1; i >= 0; i-- {
+		siftCross(p, i)
+	}
+	for end := len(p) - 1; end > 0; end-- {
+		p[0], p[end] = p[end], p[0]
+		siftCross(p[:end], 0)
+	}
+}
+
+// siftCross restores the max-heap property below root i.
+func siftCross(p []CrossEntry, i int) {
+	for {
+		l := 2*i + 1
+		if l >= len(p) {
+			return
+		}
+		big := l
+		if r := l + 1; r < len(p) && crossLess(&p[l], &p[r]) {
+			big = r
+		}
+		if !crossLess(&p[i], &p[big]) {
+			return
+		}
+		p[i], p[big] = p[big], p[i]
+		i = big
+	}
+}

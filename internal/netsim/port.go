@@ -149,6 +149,14 @@ type Port struct {
 	wire   pktRing
 	onRecv func()
 
+	// cross, when set, marks the wire as crossing a shard boundary in a
+	// partitioned fabric: finished transmissions are deposited into the
+	// outbox (due at now+Delay) instead of propagating through the local
+	// scheduler, and the destination shard's Inbox calls deliverCross at
+	// the due time. crossDst is the peer device's shard.
+	cross    *Outbox
+	crossDst int32
+
 	Stats PortStats
 }
 
@@ -391,8 +399,12 @@ func (p *Port) finishTx() {
 			Rate:    p.cfg.Rate,
 		})
 	}
-	p.wire.push(pkt)
-	p.sched.After(p.cfg.Delay, p.onRecv)
+	if p.cross != nil {
+		p.cross.deposit(p.sched.Now()+p.cfg.Delay, pkt, p, p.crossDst)
+	} else {
+		p.wire.push(pkt)
+		p.sched.After(p.cfg.Delay, p.onRecv)
+	}
 	p.busy = false
 	p.kick()
 }
@@ -400,6 +412,20 @@ func (p *Port) finishTx() {
 // deliver hands the oldest in-flight packet to the peer.
 func (p *Port) deliver() {
 	p.peer.Receive(p.wire.pop())
+}
+
+// SetCross marks this port's wire as crossing into shard dstShard of a
+// partitioned fabric, routing transmissions through the outbox (see
+// cross.go). Called by topo builders only.
+func (p *Port) SetCross(o *Outbox, dstShard int) {
+	p.cross = o
+	p.crossDst = int32(dstShard)
+}
+
+// deliverCross hands a cross-shard packet to the peer at its stamped
+// delivery time (invoked by the destination shard's Inbox).
+func (p *Port) deliverCross(pkt *Packet) {
+	p.peer.Receive(pkt)
 }
 
 // pop removes and returns the head of the highest-priority nonempty

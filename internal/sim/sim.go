@@ -266,6 +266,25 @@ func (t Timer) Pending() bool {
 // Stop halts Run after the currently executing event returns.
 func (s *Scheduler) Stop() { s.stopped = true }
 
+// NextAtBound returns a lower bound on the firing time of the earliest
+// pending event, and whether any event is pending. For the heap the
+// bound is exact (the root's timestamp). For the wheel it is exact when
+// the earliest event sits in the spill list, the hot bucket, or level 0
+// (one timestamp per bucket), and otherwise the start of the first
+// occupied higher-level window — a conservative lower bound. Callers
+// (the sharded run driver's idle-window skip) only rely on
+// bound <= actual, so the two implementations may return different
+// values without affecting outcomes.
+func (s *Scheduler) NextAtBound() (Time, bool) {
+	if s.impl == Heap {
+		if len(s.heap) == 0 {
+			return 0, false
+		}
+		return s.events[s.heap[0]].at, true
+	}
+	return s.wheelNextBound()
+}
+
 // Pending reports the number of queued events.
 func (s *Scheduler) Pending() int {
 	if s.impl == Heap {

@@ -244,6 +244,50 @@ func (s *Scheduler) popBucketHead(l *bucketList, e *event, v int) {
 	w.count--
 }
 
+// wheelNextBound is the read-only twin of wheelNext's descent: it
+// reports a lower bound on the earliest pending event's time without
+// popping, cascading, or moving the cursor. The bound is exact for
+// spill/hot/level-0/single-resident cases and the containing window's
+// start otherwise (see Scheduler.NextAtBound).
+func (s *Scheduler) wheelNextBound() (Time, bool) {
+	w := s.wheel
+	if w.count == 0 {
+		return 0, false
+	}
+	if id := w.spill.head; id != noSlot {
+		return s.events[id].at, true
+	}
+	if h := w.hot; h != noSlot {
+		if id := w.buckets[h].head; id != noSlot {
+			return s.events[id].at, true
+		}
+	}
+	if w.lvlCount[0] > 0 {
+		v, ok := w.scan(0, int(w.cur)&wheelSlotMask)
+		if !ok {
+			panic("sim: timing wheel level-0 count/bitmap mismatch")
+		}
+		return s.events[w.buckets[int32(v)].head].at, true
+	}
+	for lvl := 1; lvl < wheelLevels; lvl++ {
+		if w.lvlCount[lvl] == 0 {
+			continue
+		}
+		shift := uint(lvl) * wheelBits
+		from := (int(w.cur>>shift) & wheelSlotMask) + 1
+		v, ok := w.scan(lvl, from)
+		if !ok {
+			panic("sim: timing wheel level count/bitmap mismatch")
+		}
+		if l := &w.buckets[int32(lvl)<<wheelBits|int32(v)]; l.head == l.tail {
+			return s.events[l.head].at, true
+		}
+		windowStart := w.cur&^(uint64(1)<<(shift+wheelBits)-1) | uint64(v)<<shift
+		return Time(windowStart), true
+	}
+	panic("sim: timing wheel lost an event")
+}
+
 // wheelNext pops the earliest (time, seq) event not after deadline, or
 // reports that none qualifies. The popped slot is out of the wheel but
 // not yet released.

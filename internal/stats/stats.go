@@ -69,6 +69,35 @@ func (c *Collector) Complete(flowID uint32, size int64, start, end sim.Time) {
 // Count reports completed flows.
 func (c *Collector) Count() int { return len(c.records) }
 
+// MergeCanonical appends every record of srcs into c and sorts the
+// combined log by (End, Start, FlowID). The windowed (sharded) run
+// driver merges its per-shard collectors through this: per-shard
+// completion order depends on the partition, so the merged log is
+// re-ordered by a total order (flow IDs are unique per run) to make
+// Summarize's float accumulation sequence — and therefore every
+// reported mean, bit for bit — independent of shard count. Monolithic
+// runs never call this and keep their historical completion order.
+func (c *Collector) MergeCanonical(srcs ...*Collector) {
+	n := 0
+	for _, s := range srcs {
+		n += len(s.records)
+	}
+	c.Reserve(n)
+	for _, s := range srcs {
+		c.records = append(c.records, s.records...)
+	}
+	r := c.records
+	sort.Slice(r, func(i, j int) bool {
+		if r[i].End != r[j].End {
+			return r[i].End < r[j].End
+		}
+		if r[i].Start != r[j].Start {
+			return r[i].Start < r[j].Start
+		}
+		return r[i].FlowID < r[j].FlowID
+	})
+}
+
 // Records returns the raw completions.
 func (c *Collector) Records() []FCTRecord { return c.records }
 

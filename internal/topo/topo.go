@@ -51,19 +51,59 @@ type Config struct {
 	// scheduler (timing wheel by default, min-heap for A/B runs). Both
 	// produce identical event orders; see internal/sim.
 	Sched sim.Impl
+
+	// Shards, when >= 1, asks multi-switch builders (LeafSpine) for a
+	// partitioned fabric: one logical shard per switch (leaf shards own
+	// their hosts), each with its own scheduler and packet pool, wired
+	// for the conservative time-windowed parallel engine (DESIGN.md
+	// §7.3). The value caps the number of worker goroutines; the
+	// logical partition — and therefore every simulated outcome — is
+	// topology-determined and identical for every Shards >= 1. Zero (the
+	// zero value) builds the classic monolithic single-scheduler fabric.
+	// Star ignores this: a single switch has no useful partition.
+	Shards int
+}
+
+// Partition describes a sharded fabric: the per-shard schedulers and
+// packet pools, the cross-shard mailboxes, and the host-to-shard map
+// the windowed run driver needs. Shard indices are topology-determined:
+// leaf i (plus its hosts) is shard i, spine j is shard leaves+j.
+type Partition struct {
+	// N is the logical shard count (leaves + spines).
+	N int
+	// Workers caps the worker goroutines driving the shards each
+	// window: min(Config.Shards, N). Worker count never affects
+	// outcomes — shards only interact at barriers, in canonical order.
+	Workers int
+	// Window is the lock-step window width: the minimum propagation
+	// delay over cross-shard wires, i.e. the conservative lookahead.
+	Window sim.Time
+
+	Scheds   []*sim.Scheduler
+	Pools    []*netsim.PacketPool
+	Outboxes []*netsim.Outbox
+	Inboxes  []*netsim.Inbox
+	// HostShard maps host id to its ToR's shard.
+	HostShard []int
 }
 
 // Network is a built fabric: hosts wired through switches, sharing one
-// scheduler.
+// scheduler (or, when partitioned, one scheduler per shard).
 type Network struct {
+	// Sched is the fabric scheduler of a monolithic build; nil when the
+	// fabric is partitioned (use Part.Scheds and the windowed driver).
 	Sched    *sim.Scheduler
 	Hosts    []*netsim.Host
 	Switches []*netsim.Switch
 	Cfg      Config
 
+	// Part is non-nil for a partitioned (sharded) fabric.
+	Part *Partition
+
 	// Pool is the run-scoped packet freelist shared by every host and
 	// port of this fabric. One pool per Network keeps runs deterministic
-	// and race-free under the experiment worker pool.
+	// and race-free under the experiment worker pool. Partitioned
+	// fabrics use Part.Pools (one per shard) instead and leave this nil.
 	Pool *netsim.PacketPool
 
 	// BaseRTT is the zero-load round-trip time between the two most
@@ -77,6 +117,19 @@ type Network struct {
 // BDP returns the bandwidth-delay product of the fabric in bytes.
 func (n *Network) BDP() int {
 	return netsim.BDPBytes(n.BottleneckRate, n.BaseRTT)
+}
+
+// Executed reports the total scheduler events run on this fabric,
+// summed over shards when partitioned.
+func (n *Network) Executed() uint64 {
+	if n.Part == nil {
+		return n.Sched.Executed
+	}
+	var total uint64
+	for _, s := range n.Part.Scheds {
+		total += s.Executed
+	}
+	return total
 }
 
 // SwitchPorts returns every switch egress port (for buffer sampling).
@@ -181,12 +234,46 @@ func LeafSpine(leaves, spines, hostsPerLeaf int, cfg Config) *Network {
 	if cfg.LinkDelay == 0 {
 		cfg.LinkDelay = 1 * sim.Microsecond
 	}
-	s := sim.NewSchedulerImpl(cfg.Sched)
-	net := &Network{Sched: s, Cfg: cfg, BottleneckRate: cfg.HostRate}
+	net := &Network{Cfg: cfg, BottleneckRate: cfg.HostRate}
 	if cfg.CoreRate < cfg.HostRate {
 		net.BottleneckRate = cfg.CoreRate
 	}
 
+	// Partitioning (Config.Shards >= 1): leaf i and its hosts form shard
+	// i, spine j forms shard leaves+j. The only cross-shard wires are
+	// leaf<->spine (a host's NIC peers with its own leaf), so the
+	// conservative window width is exactly LinkDelay.
+	var part *Partition
+	var mono *sim.Scheduler
+	if cfg.Shards >= 1 {
+		n := leaves + spines
+		part = &Partition{
+			N:         n,
+			Workers:   min(cfg.Shards, n),
+			Window:    cfg.LinkDelay,
+			Scheds:    make([]*sim.Scheduler, n),
+			Pools:     make([]*netsim.PacketPool, n),
+			Outboxes:  make([]*netsim.Outbox, n),
+			Inboxes:   make([]*netsim.Inbox, n),
+			HostShard: make([]int, leaves*hostsPerLeaf),
+		}
+		for i := 0; i < n; i++ {
+			part.Scheds[i] = sim.NewSchedulerImpl(cfg.Sched)
+			part.Pools[i] = netsim.NewPacketPool()
+			part.Outboxes[i] = netsim.NewOutbox(i)
+			part.Inboxes[i] = netsim.NewInbox(part.Scheds[i])
+		}
+		net.Part = part
+	} else {
+		mono = sim.NewSchedulerImpl(cfg.Sched)
+		net.Sched = mono
+	}
+	sched := func(shard int) *sim.Scheduler {
+		if part != nil {
+			return part.Scheds[shard]
+		}
+		return mono
+	}
 	leafSW := make([]*netsim.Switch, leaves)
 	spineSW := make([]*netsim.Switch, spines)
 	for i := range leafSW {
@@ -206,18 +293,28 @@ func LeafSpine(leaves, spines, hostsPerLeaf int, cfg Config) *Network {
 		// Downlinks to hosts.
 		for hi := 0; hi < hostsPerLeaf; hi++ {
 			id := int32(li*hostsPerLeaf + hi)
-			h := netsim.NewHost(id, s)
-			nic := netsim.NewPort(fmt.Sprintf("h%d-nic", id), s, cfg.nicCfg(cfg.HostRate), leaf, nil)
+			h := netsim.NewHost(id, sched(li))
+			nic := netsim.NewPort(fmt.Sprintf("h%d-nic", id), sched(li), cfg.nicCfg(cfg.HostRate), leaf, nil)
 			h.SetNIC(nic)
-			down := netsim.NewPort(fmt.Sprintf("leaf%d-h%d", li, hi), s, cfg.switchPortCfg(cfg.HostRate), h, pool)
+			down := netsim.NewPort(fmt.Sprintf("leaf%d-h%d", li, hi), sched(li), cfg.switchPortCfg(cfg.HostRate), h, pool)
 			leaf.AddRoute(id, leaf.AddPort(down))
 			net.Hosts = append(net.Hosts, h)
+			if part != nil {
+				part.HostShard[id] = li
+				h.SetPool(part.Pools[li])
+				nic.SetPacketPool(part.Pools[li])
+				down.SetPacketPool(part.Pools[li])
+			}
 		}
 		// Uplinks to every spine; remote hosts ECMP across them.
 		var uplinks []int
 		for si, spine := range spineSW {
-			up := netsim.NewPort(fmt.Sprintf("leaf%d-spine%d", li, si), s, cfg.switchPortCfg(cfg.CoreRate), spine, pool)
+			up := netsim.NewPort(fmt.Sprintf("leaf%d-spine%d", li, si), sched(li), cfg.switchPortCfg(cfg.CoreRate), spine, pool)
 			uplinks = append(uplinks, leaf.AddPort(up))
+			if part != nil {
+				up.SetPacketPool(part.Pools[li])
+				up.SetCross(part.Outboxes[li], leaves+si)
+			}
 		}
 		for other := 0; other < leaves; other++ {
 			if other == li {
@@ -229,16 +326,21 @@ func LeafSpine(leaves, spines, hostsPerLeaf int, cfg Config) *Network {
 		}
 	}
 	// Spine downlinks: one port per leaf, routing that leaf's hosts.
-	for _, spine := range spineSW {
+	for si, spine := range spineSW {
 		var pool *netsim.BufferPool
 		if cfg.SharedBuffer > 0 {
 			pool = netsim.NewBufferPool(cfg.SharedBuffer)
 		}
+		shard := leaves + si
 		for li, leaf := range leafSW {
-			down := netsim.NewPort(fmt.Sprintf("%s-%s", spine.Name(), leaf.Name()), s, cfg.switchPortCfg(cfg.CoreRate), leaf, pool)
+			down := netsim.NewPort(fmt.Sprintf("%s-%s", spine.Name(), leaf.Name()), sched(shard), cfg.switchPortCfg(cfg.CoreRate), leaf, pool)
 			idx := spine.AddPort(down)
 			for hi := 0; hi < hostsPerLeaf; hi++ {
 				spine.AddRoute(int32(li*hostsPerLeaf+hi), idx)
+			}
+			if part != nil {
+				down.SetPacketPool(part.Pools[shard])
+				down.SetCross(part.Outboxes[shard], li)
 			}
 		}
 	}
@@ -247,7 +349,9 @@ func LeafSpine(leaves, spines, hostsPerLeaf int, cfg Config) *Network {
 	net.BaseRTT = 8*cfg.LinkDelay +
 		2*cfg.HostRate.TxTime(mtu) + 2*cfg.CoreRate.TxTime(mtu) +
 		2*cfg.HostRate.TxTime(netsim.HeaderBytes) + 2*cfg.CoreRate.TxTime(netsim.HeaderBytes)
-	net.attachPool()
+	if part == nil {
+		net.attachPool()
+	}
 	return net
 }
 

@@ -197,7 +197,7 @@ func (s *Sender) nextSeg(from int64) (seq, end int64, ok bool) {
 
 // TrySend transmits while the window allows.
 func (s *Sender) TrySend() {
-	if s.F.Done() {
+	if s.F.SenderDone() {
 		s.stopRTO()
 		return
 	}
@@ -227,7 +227,7 @@ func (s *Sender) transmit(seq int64, n int32, retrans bool) {
 }
 
 func (s *Sender) armRTO() {
-	if s.InFlight() <= 0 || s.F.Done() {
+	if s.InFlight() <= 0 || s.F.SenderDone() {
 		s.stopRTO()
 		return
 	}
@@ -248,7 +248,7 @@ func (s *Sender) stopRTO() {
 }
 
 func (s *Sender) onRTO() {
-	if s.F.Done() || s.InFlight() <= 0 {
+	if s.F.SenderDone() || s.InFlight() <= 0 {
 		return
 	}
 	// Go-back-N: rewind and slow-start from one segment.
@@ -271,7 +271,7 @@ func (s *Sender) onRTO() {
 
 // Handle implements netsim.Endpoint for the sender side (ACK arrivals).
 func (s *Sender) Handle(pkt *netsim.Packet) {
-	if s.F.Done() {
+	if s.F.SenderDone() {
 		return
 	}
 	if pkt.Kind != netsim.Ack || pkt.LowLoop {
@@ -498,8 +498,22 @@ func (Proto) RecyclesFlows() {}
 
 // Start implements transport.Protocol.
 func (p Proto) Start(env *transport.Env, f *transport.Flow) {
+	p.StartReceiver(env, f)
+	p.StartSender(env, f)
+}
+
+// StartReceiver implements transport.ShardableProtocol: build and bind
+// the receiver only. Pure setup (no clock reads, no scheduling), so the
+// windowed driver may call it on the barrier thread in the destination
+// host's shard.
+func (p Proto) StartReceiver(env *transport.Env, f *transport.Flow) {
 	r := GetReceiver(env, f)
 	f.Dst.Bind(f.ID, true, r)
+}
+
+// StartSender implements transport.ShardableProtocol: build, bind and
+// launch the sender at the flow's arrival time in the source shard.
+func (p Proto) StartSender(env *transport.Env, f *transport.Flow) {
 	s := GetSender(env, f, p.Cfg)
 	f.Src.Bind(f.ID, false, s)
 	s.Launch()

@@ -180,16 +180,29 @@ func (p Proto) Name() string {
 
 // Start implements transport.Protocol.
 func (p Proto) Start(env *transport.Env, f *transport.Flow) {
-	cfg := p.Cfg.withDefaults()
+	p.StartReceiver(env, f)
+	p.StartSender(env, f)
+}
 
-	// Buffer-aware identification (§4.1): the first syscall's size
-	// against the threshold.
+// StartReceiver implements transport.ShardableProtocol: build and bind
+// the receiver endpoint only. It is pure setup — no clock reads, no
+// scheduling, no sends — so the windowed driver may invoke it on the
+// barrier thread in the destination host's shard.
+func (p Proto) StartReceiver(env *transport.Env, f *transport.Flow) {
+	cfg := p.Cfg.withDefaults()
+	r := getReceiver(env, f, cfg)
+	f.Dst.Bind(f.ID, true, r)
+}
+
+// StartSender implements transport.ShardableProtocol: run the
+// buffer-aware classifier (§4.1 — the first syscall's size against the
+// threshold), then build, bind, and launch the sender at the flow's
+// arrival time in the source host's shard.
+func (p Proto) StartSender(env *transport.Env, f *transport.Flow) {
+	cfg := p.Cfg.withDefaults()
 	if !cfg.DisableIdentification && f.FirstCall > cfg.IdentifyThreshold {
 		f.IdentifiedLarge = true
 	}
-
-	r := getReceiver(env, f, cfg)
-	f.Dst.Bind(f.ID, true, r)
 	s := getSender(env, f, cfg)
 	f.Src.Bind(f.ID, false, s)
 	s.launch()
@@ -321,7 +334,7 @@ func (s *sender) Recycle(env *transport.Env) {
 // Handle implements netsim.Endpoint: high-priority ACKs feed DCTCP,
 // low-priority ACKs feed the LCP loop.
 func (s *sender) Handle(pkt *netsim.Packet) {
-	if s.f.Done() {
+	if s.f.SenderDone() {
 		return
 	}
 	if pkt.Kind != netsim.Ack {
@@ -437,7 +450,7 @@ func (l *lcpLoop) onFlowStart() {
 
 // openCase1 opens the case-1 loop: I = BDP − IW (§3.1).
 func (l *lcpLoop) openCase1() {
-	if l.s.f.Done() {
+	if l.s.f.SenderDone() {
 		return
 	}
 	l.s.dbg.inc(&l.s.dbg.Case1Opens)
@@ -455,7 +468,7 @@ func (l *lcpLoop) onAlpha(alpha float64) {
 	if len(l.alphas) > l.s.cfg.AlphaHistory {
 		l.alphas = l.alphas[len(l.alphas)-l.s.cfg.AlphaHistory:]
 	}
-	if l.active || !l.s.hcp.ExitedSS || l.s.f.Done() || len(prior) == 0 {
+	if l.active || !l.s.hcp.ExitedSS || l.s.f.SenderDone() || len(prior) == 0 {
 		return
 	}
 	min := prior[0]
@@ -549,7 +562,7 @@ func (l *lcpLoop) open(i int64, guarded bool) {
 
 // paceOne transmits the next opportunistic packet of the initial window.
 func (l *lcpLoop) paceOne() {
-	if !l.active || l.s.f.Done() || l.budget <= 0 {
+	if !l.active || l.s.f.SenderDone() || l.budget <= 0 {
 		l.pacing = false
 		return
 	}

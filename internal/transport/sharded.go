@@ -1,0 +1,319 @@
+package transport
+
+import (
+	"sort"
+	"sync/atomic"
+
+	"ppt/internal/netsim"
+	"ppt/internal/sim"
+	"ppt/internal/stats"
+)
+
+// This file is the conservative time-windowed parallel run driver
+// (YAWNS / bounded-lag; see DESIGN.md §7.3). A partitioned fabric
+// (topo.Config.Shards >= 1) assigns every device to one of N logical
+// shards, each with its own scheduler, packet pool, and — built here —
+// its own Env (collector, efficiency counters, endpoint pools, flow
+// freelist, release cursor). All shards advance in lock-step windows of
+// width w = min propagation delay over cross-shard wires: a packet
+// transmitted during window k crosses the boundary no earlier than the
+// k+1 barrier, so windows can execute with no intra-window
+// communication at all, and every cross-shard effect is applied at a
+// barrier in a canonical order:
+//
+//  1. cross-shard packets, merged per destination shard in
+//     (time, srcShard, seq) order (netsim.MergeWindows);
+//  2. receiver starts for flows released this window whose destination
+//     is another shard, in source-shard index order;
+//  3. sender teardowns for cross-shard flows completed this window, in
+//     completing-shard index order;
+//  4. global stop / event-budget / deadline checks.
+//
+// The logical partition is fixed by the topology; Config.Shards only
+// caps how many worker goroutines execute the shards each window.
+// Because shards interact exclusively through the barrier steps above,
+// the worker count is invisible to simulated outcomes: -shards=1, 2 and
+// 4 are byte-identical by construction, and a monolithic run differs
+// from a windowed one only through the documented teardown deferral.
+
+// shardedRun is the shared state of one windowed run.
+type shardedRun struct {
+	proto     ShardableProtocol
+	envs      []*Env
+	hostShard []int
+
+	// remaining counts unfinished flows; decremented (atomically — the
+	// only cross-shard write during a window) as completions happen,
+	// checked by the driver at barriers.
+	remaining atomic.Int64
+
+	// recv stages cross-shard receiver starts, indexed by the source
+	// (releasing) shard so each slice has a single writer per window.
+	recv [][]*Flow
+	// tear stages cross-shard sender teardowns, indexed by the
+	// completing (receiver) shard — again a single writer per window.
+	tear [][]*Flow
+}
+
+func (r *shardedRun) flowDone() { r.remaining.Add(-1) }
+
+// stageReceiverStart records a cross-shard flow released in shard this
+// window; the driver binds its receiver at the next barrier.
+func (r *shardedRun) stageReceiverStart(shard int, f *Flow) {
+	r.recv[shard] = append(r.recv[shard], f)
+}
+
+// stageTeardown records a cross-shard flow completed in shard (the
+// receiver side) this window; the driver unbinds and recycles the
+// sender at the next barrier.
+func (r *shardedRun) stageTeardown(shard int, f *Flow) {
+	r.tear[shard] = append(r.tear[shard], f)
+	r.flowDone()
+}
+
+// applyReceiverStarts binds staged receivers in their destination
+// shards. Runs on the driver thread at a barrier: every shard is
+// quiescent, and iterating source shards in index order (entries within
+// a slice are in release order) makes the per-destination-pool
+// allocation order a pure function of the workload.
+func (r *shardedRun) applyReceiverStarts() {
+	for i := range r.recv {
+		staged := r.recv[i]
+		if len(staged) == 0 {
+			continue
+		}
+		for j, f := range staged {
+			r.proto.StartReceiver(r.envs[r.hostShard[f.Dst.ID()]], f)
+			staged[j] = nil
+		}
+		r.recv[i] = staged[:0]
+	}
+}
+
+// applyTeardowns unbinds and recycles staged senders in their source
+// shards, marks the flows sender-done, and returns recyclable flows to
+// the source shard's freelist. Runs on the driver thread at a barrier;
+// recycling may stop sender timers, which is safe because the shard is
+// quiescent.
+func (r *shardedRun) applyTeardowns() {
+	for i := range r.tear {
+		staged := r.tear[i]
+		if len(staged) == 0 {
+			continue
+		}
+		for j, f := range staged {
+			se := r.envs[r.hostShard[f.Src.ID()]]
+			f.srcDone = true
+			src := f.Src.Unbind(f.ID, false)
+			if rec, ok := src.(EndpointRecycler); ok {
+				rec.Recycle(se)
+			}
+			if f.pooled && se.recycleFlows {
+				se.putFlow(f)
+			}
+			staged[j] = nil
+		}
+		r.tear[i] = staged[:0]
+	}
+}
+
+// crew is the persistent worker pool of one windowed run: worker w owns
+// logical shards {i : i mod workers == w} for the whole run, executing
+// them sequentially each window. Channel handoffs give the
+// happens-before edges that make the barrier a real synchronization
+// point (the race detector checks this under -race golden runs).
+type crew struct {
+	scheds []*sim.Scheduler
+	start  []chan sim.Time
+	done   chan struct{}
+}
+
+func startCrew(scheds []*sim.Scheduler, workers int) *crew {
+	c := &crew{scheds: scheds, start: make([]chan sim.Time, workers), done: make(chan struct{}, workers)}
+	for w := range c.start {
+		ch := make(chan sim.Time, 1)
+		c.start[w] = ch
+		go func(w int, ch chan sim.Time) {
+			for deadline := range ch {
+				for i := w; i < len(c.scheds); i += len(c.start) {
+					c.scheds[i].RunUntil(deadline)
+				}
+				c.done <- struct{}{}
+			}
+		}(w, ch)
+	}
+	return c
+}
+
+func (c *crew) runWindow(deadline sim.Time) {
+	for _, ch := range c.start {
+		ch <- deadline
+	}
+	for range c.start {
+		<-c.done
+	}
+}
+
+func (c *crew) stop() {
+	for _, ch := range c.start {
+		close(ch)
+	}
+}
+
+// runSharded is Run's windowed twin for partitioned fabrics.
+func runSharded(env *Env, proto ShardableProtocol, flows []SimpleFlow, cfg RunConfig) stats.Summary {
+	part := env.Net.Part
+	n := part.N
+	w := part.Window
+	if w <= 0 {
+		panic("transport: partitioned fabric without a positive lookahead window")
+	}
+	_, recycle := Protocol(proto).(FlowRecycler)
+
+	run := &shardedRun{
+		proto:     proto,
+		hostShard: part.HostShard,
+		recv:      make([][]*Flow, n),
+		tear:      make([][]*Flow, n),
+	}
+	run.remaining.Store(int64(len(flows)))
+	run.envs = make([]*Env, n)
+	for i := range run.envs {
+		run.envs[i] = &Env{
+			Net:          env.Net,
+			Collector:    stats.NewCollector(),
+			RTOMin:       env.RTOMin,
+			OnComplete:   env.OnComplete,
+			recycleFlows: recycle,
+			sched:        part.Scheds[i],
+			shard:        i,
+			run:          run,
+		}
+	}
+
+	// Partition the workload by source shard, preserving arrival order
+	// (ties keep input order, as in the monolithic releaser), and
+	// pre-size each shard's collector by the completions it will record
+	// — those land in the receiver's shard.
+	if !arrivalSorted(flows) {
+		flows = append([]SimpleFlow(nil), flows...)
+		sort.SliceStable(flows, func(i, j int) bool { return flows[i].Arrive < flows[j].Arrive })
+	}
+	perShard := make([][]SimpleFlow, n)
+	for _, f := range flows {
+		s := part.HostShard[f.Src]
+		perShard[s] = append(perShard[s], f)
+		run.envs[part.HostShard[f.Dst]].Collector.Reserve(1)
+	}
+	for i, sf := range perShard {
+		if len(sf) == 0 {
+			continue
+		}
+		rel := &releaser{env: run.envs[i], proto: proto, flows: sf, sharded: run, shard: i}
+		rel.fireFn = rel.fire
+		part.Scheds[i].At(sf[0].Arrive, rel.fireFn)
+	}
+
+	if cfg.MaxEvents == 0 {
+		cfg.MaxEvents = 2_000_000_000
+	}
+	budget := env.Net.Executed() + cfg.MaxEvents
+	for _, s := range part.Scheds {
+		// Per-shard runaway backstop; the canonical budget check happens
+		// at barriers over the summed count.
+		s.Limit = s.Executed + cfg.MaxEvents
+	}
+	deadline := sim.MaxTime
+	if cfg.Deadline != 0 {
+		deadline = cfg.Deadline
+	}
+
+	workers := part.Workers
+	if env.OnComplete != nil {
+		// A completion observer is arbitrary user code invoked inside
+		// shard event loops; run single-threaded rather than racing it.
+		workers = 1
+	}
+	var workerPool *crew
+	if workers > 1 {
+		workerPool = startCrew(part.Scheds, workers)
+		defer workerPool.stop()
+	}
+	// The lock-step window loop. Windows are [k·w, (k+1)·w) for integral
+	// k — absolute multiples of w, so barrier times (and with them the
+	// receiver-start and teardown instants) do not depend on which empty
+	// windows were skipped.
+	for windowEnd := w; ; {
+		runTo := windowEnd - 1
+		if runTo > deadline {
+			runTo = deadline
+		}
+		if workerPool != nil {
+			workerPool.runWindow(runTo)
+		} else {
+			for _, s := range part.Scheds {
+				s.RunUntil(runTo)
+			}
+		}
+		// Barrier: every shard quiescent, driver thread only.
+		netsim.MergeWindows(part.Outboxes, part.Inboxes)
+		run.applyReceiverStarts()
+		run.applyTeardowns()
+		if run.remaining.Load() <= 0 {
+			break
+		}
+		if env.Net.Executed() >= budget {
+			break
+		}
+		if runTo >= deadline {
+			break
+		}
+		// Advance, skipping windows no shard has events in. NextAtBound
+		// is a lower bound (exact for the heap, possibly coarse for the
+		// wheel), so the skip target may undershoot — never overshoot —
+		// the next event's window; skipped windows are provably empty and
+		// their barriers would be no-ops, so the two queue
+		// implementations stay byte-identical despite different bounds.
+		next := sim.MaxTime
+		idle := true
+		for _, s := range part.Scheds {
+			if at, ok := s.NextAtBound(); ok {
+				idle = false
+				if at < next {
+					next = at
+				}
+			}
+		}
+		if idle {
+			// Drained with flows outstanding: a protocol stall; report
+			// truncation below just like the monolithic path.
+			break
+		}
+		if ne := (next/w)*w + w; ne > windowEnd {
+			windowEnd = ne
+		} else {
+			windowEnd += w
+		}
+	}
+
+	// Merge per-shard results into the caller's env in canonical order.
+	collectors := make([]*stats.Collector, n)
+	for i, se := range run.envs {
+		collectors[i] = se.Collector
+		env.Eff.SentPayload += se.Eff.SentPayload
+		env.Eff.SentLowPayload += se.Eff.SentLowPayload
+		env.Eff.UsefulDelivered += se.Eff.UsefulDelivered
+		env.Eff.UsefulLow += se.Eff.UsefulLow
+		se.run = nil
+	}
+	env.Collector.MergeCanonical(collectors...)
+	for _, h := range env.Net.Hosts {
+		env.Eff.SentPayload += h.NIC().Stats.TxDataBytes
+	}
+	sum := env.Collector.Summarize()
+	if left := run.remaining.Load(); left > 0 {
+		sum.Truncated = true
+		sum.Unfinished = int(left)
+	}
+	return sum
+}

@@ -36,6 +36,16 @@ type Flow struct {
 
 	done bool
 
+	// srcDone mirrors done for the sender side. Monolithic runs set both
+	// together; in a windowed (sharded) run a cross-shard flow's sender
+	// teardown is deferred to the next window barrier, so srcDone trails
+	// done by up to one window. Sender-side code polls SenderDone.
+	srcDone bool
+
+	// crossShard marks flows whose endpoints live in different shards of
+	// a partitioned fabric (always false in monolithic runs).
+	crossShard bool
+
 	// pooled marks flows owned by the run freelist (built by Run's
 	// releaser); flows constructed directly by experiment code are never
 	// recycled. inPool is the double-free guard.
@@ -67,6 +77,14 @@ type Env struct {
 	// the protocol implementing FlowRecycler.
 	flowFree     []*Flow
 	recycleFlows bool
+
+	// sched is this environment's event scheduler: the fabric scheduler
+	// for monolithic runs, the shard's own scheduler for the per-shard
+	// environments of a windowed run. shard and run are set only on the
+	// latter (see sharded.go).
+	sched *sim.Scheduler
+	shard int
+	run   *shardedRun
 }
 
 // NewEnv builds an environment over a fabric.
@@ -75,14 +93,16 @@ func NewEnv(net *topo.Network) *Env {
 		Net:       net,
 		Collector: stats.NewCollector(),
 		RTOMin:    1 * sim.Millisecond,
+		sched:     net.Sched,
 	}
 }
 
-// Sched returns the fabric scheduler.
-func (e *Env) Sched() *sim.Scheduler { return e.Net.Sched }
+// Sched returns the environment's scheduler (the shard's own in a
+// windowed run).
+func (e *Env) Sched() *sim.Scheduler { return e.sched }
 
 // Now returns the current simulated time.
-func (e *Env) Now() sim.Time { return e.Net.Sched.Now() }
+func (e *Env) Now() sim.Time { return e.sched.Now() }
 
 // BaseRTT returns the fabric's zero-load RTT.
 func (e *Env) BaseRTT() sim.Time { return e.Net.BaseRTT }
@@ -112,6 +132,27 @@ func (e *Env) Complete(f *Flow) {
 	f.done = true
 	e.Collector.Complete(f.ID, f.Size, f.Start, e.Now())
 	e.Eff.UsefulDelivered += f.Size
+	if f.crossShard {
+		// Windowed run with the sender in another shard, which may be
+		// executing this window concurrently: tear down only the receiver
+		// (this shard) now, and stage the sender's unbind/recycle — and
+		// the flow's return to the source freelist — for the driver to
+		// apply at the next window barrier, when every shard is
+		// quiescent. Until then the sender observes SenderDone() == false
+		// and keeps reacting to in-flight ACKs; the barrier time is a
+		// pure function of the completion time, so the gap's behaviour is
+		// identical at every worker count.
+		dst := f.Dst.Unbind(f.ID, true)
+		if r, ok := dst.(EndpointRecycler); ok {
+			r.Recycle(e)
+		}
+		if e.OnComplete != nil {
+			e.OnComplete(f)
+		}
+		e.run.stageTeardown(e.shard, f)
+		return
+	}
+	f.srcDone = true
 	src := f.Src.Unbind(f.ID, false)
 	dst := f.Dst.Unbind(f.ID, true)
 	if r, ok := src.(EndpointRecycler); ok {
@@ -125,6 +166,10 @@ func (e *Env) Complete(f *Flow) {
 	}
 	if f.pooled && e.recycleFlows {
 		e.putFlow(f)
+	}
+	if e.run != nil {
+		e.run.flowDone()
+		return
 	}
 	if e.stopWhenDone {
 		e.remaining--
@@ -143,6 +188,8 @@ func (e *Env) getFlow() *Flow {
 		e.flowFree = e.flowFree[:n-1]
 		f.inPool = false
 		f.done = false
+		f.srcDone = false
+		f.crossShard = false
 		f.IdentifiedLarge = false
 		f.Start = 0
 		return f
@@ -161,14 +208,39 @@ func (e *Env) putFlow(f *Flow) {
 	e.flowFree = append(e.flowFree, f)
 }
 
-// Done reports whether the flow has completed.
+// Done reports whether the flow has completed. Sender-side code in
+// sharded-capable protocols must use SenderDone instead: in a windowed
+// run, done is written by the receiver's shard while the sender's shard
+// may still be executing.
 func (f *Flow) Done() bool { return f.done }
+
+// SenderDone reports whether the sender-side endpoint has been (or is
+// being) torn down. Equal to Done in monolithic runs; in a windowed run
+// it trails Done by up to one window for cross-shard flows.
+func (f *Flow) SenderDone() bool { return f.srcDone }
 
 // Protocol wires endpoints for one flow. Start is called at the flow's
 // arrival time.
 type Protocol interface {
 	Name() string
 	Start(env *Env, f *Flow)
+}
+
+// ShardableProtocol is a Protocol whose flow setup can be split across
+// shards of a partitioned fabric: StartSender runs at the flow's
+// arrival time in the source host's shard; StartReceiver runs at the
+// next window barrier in the destination host's shard (always before
+// the first packet can arrive — the barrier is within one window of the
+// arrival, the first cross-shard packet at least two windows out).
+// StartReceiver is invoked on the driver thread while shards are
+// quiescent, so it must not read the clock, schedule events, or send
+// packets — it only builds and binds the receiver endpoint. Start must
+// remain equivalent to StartReceiver followed by StartSender (it is
+// still what monolithic runs and same-shard flows call).
+type ShardableProtocol interface {
+	Protocol
+	StartSender(env *Env, f *Flow)
+	StartReceiver(env *Env, f *Flow)
 }
 
 // RunConfig controls a full experiment run.
@@ -208,6 +280,11 @@ type releaser struct {
 	// fireFn is fire bound once; re-arming with a fresh method value
 	// would allocate per batch.
 	fireFn func()
+	// sharded, when non-nil, is the windowed run this releaser's shard
+	// belongs to: cross-shard flows start their sender immediately and
+	// stage their receiver start for the next barrier.
+	sharded *shardedRun
+	shard   int
 }
 
 // fire releases every flow whose arrival time has come, then re-arms
@@ -230,7 +307,13 @@ func (rel *releaser) fire() {
 			f.FirstCall = wf.Size
 		}
 		f.Start = now
-		rel.proto.Start(env, f)
+		if r := rel.sharded; r != nil && r.hostShard[wf.Src] != r.hostShard[wf.Dst] {
+			f.crossShard = true
+			r.stageReceiverStart(rel.shard, f)
+			r.proto.StartSender(env, f)
+		} else {
+			rel.proto.Start(env, f)
+		}
 	}
 	if rel.next < len(rel.flows) {
 		env.Sched().At(rel.flows[rel.next].Arrive, rel.fireFn)
@@ -251,8 +334,17 @@ func arrivalSorted(flows []SimpleFlow) bool {
 
 // Run releases flows at their arrival times under proto and runs the
 // simulation until every flow completes (or a safety bound trips). It
-// returns the FCT summary.
+// returns the FCT summary. On a partitioned fabric (topo.Config.Shards
+// >= 1) the windowed multi-core driver takes over; proto must then be a
+// ShardableProtocol.
 func Run(env *Env, proto Protocol, flows []SimpleFlow, cfg RunConfig) stats.Summary {
+	if env.Net.Part != nil {
+		sp, ok := proto.(ShardableProtocol)
+		if !ok {
+			panic(fmt.Sprintf("transport: partitioned fabric requires a ShardableProtocol; %s is not one", proto.Name()))
+		}
+		return runSharded(env, sp, flows, cfg)
+	}
 	env.remaining = len(flows)
 	env.stopWhenDone = true
 	env.Collector.Reserve(len(flows))

@@ -38,19 +38,30 @@ func WriteFlows(w io.Writer, flows []Flow) error {
 // ReadFlows parses a CSV trace written by WriteFlows (or hand-authored
 // in the same five-column format). Flows must be valid: positive sizes,
 // src != dst, nondecreasing ids not required but uniqueness is enforced.
+//
+// The reader streams: records are parsed one at a time into a reused
+// buffer, so peak memory is the returned []Flow plus one CSV record —
+// not a second materialized [][]string copy of the whole trace. That
+// matters at datacenter-trace sizes (hundreds of thousands of flows).
 func ReadFlows(r io.Reader) ([]Flow, error) {
 	cr := csv.NewReader(r)
-	rows, err := cr.ReadAll()
-	if err != nil {
+	cr.ReuseRecord = true
+	if _, err := cr.Read(); err != nil {
+		if err == io.EOF {
+			return nil, nil // empty trace
+		}
 		return nil, err
 	}
-	if len(rows) == 0 {
-		return nil, nil
-	}
 	seen := make(map[uint32]bool)
-	flows := make([]Flow, 0, len(rows)-1)
-	for i, row := range rows[1:] {
-		line := i + 2
+	var flows []Flow
+	for line := 2; ; line++ {
+		row, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
 		if len(row) < 5 {
 			return nil, fmt.Errorf("workload: trace line %d has %d fields, want 5", line, len(row))
 		}

@@ -85,3 +85,59 @@ func TestReadFlowsEmpty(t *testing.T) {
 		t.Fatalf("empty = %v, %v", flows, err)
 	}
 }
+
+// TestTraceRoundTripLarge round-trips a datacenter-scale trace (120k
+// flows) and pins the reader's streaming behaviour: parsing must stay
+// at ~1 allocation per CSV record (the record's backing string; the
+// field slice is reused). An eager reader that materializes the whole
+// trace as [][]string before converting — as ReadFlows once did via
+// csv.ReadAll — costs >= 2 allocations per record and fails the bound.
+func TestTraceRoundTripLarge(t *testing.T) {
+	if testing.Short() {
+		t.Skip("writes and parses a 120k-flow trace")
+	}
+	const n = 120_000
+	orig := Generate(GenConfig{
+		Dist: WebSearch, Pattern: AllToAll{N: 64}, Load: 0.5,
+		HostRate: 10 * netsim.Gbps, NumFlows: n, Seed: 3,
+	})
+	if len(orig) != n {
+		t.Fatalf("generated %d flows, want %d", len(orig), n)
+	}
+	var buf bytes.Buffer
+	if err := WriteFlows(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	got, err := ReadFlows(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != n {
+		t.Fatalf("round trip %d != %d", len(got), n)
+	}
+	for i := range got {
+		if got[i].ID != orig[i].ID || got[i].Src != orig[i].Src ||
+			got[i].Dst != orig[i].Dst || got[i].Size != orig[i].Size {
+			t.Fatalf("flow %d mismatch: %+v vs %+v", i, got[i], orig[i])
+		}
+		d := got[i].Arrive - orig[i].Arrive
+		if d < 0 {
+			d = -d
+		}
+		if d > sim.Microsecond {
+			t.Fatalf("flow %d arrival drift %v", i, d)
+		}
+	}
+
+	allocs := testing.AllocsPerRun(1, func() {
+		if _, err := ReadFlows(bytes.NewReader(data)); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if perRow := allocs / n; perRow > 1.5 {
+		t.Fatalf("ReadFlows allocated %.2f times per record (total %.0f for %d records); the reader is materializing the trace eagerly",
+			perRow, allocs, n)
+	}
+}
