@@ -13,12 +13,13 @@
 // counts are machine-independent, so the allocs/op gate always compares
 // raw values.
 //
-// When the fresh file carries the scale family (scale3k/scale30k), the
-// gate additionally checks allocation growth: the 30k-flow run must not
-// allocate more than -scale-growth times the 3k-flow run. With pooled
-// flow/endpoint lifecycles a 10× workload should cost less than 10× the
-// allocations; exceeding the factor means per-flow allocation crept
-// back in.
+// When the fresh file carries a scale family, the gate additionally
+// checks allocation growth over each 10× pair — scale3k→scale30k
+// (materialized workload, pooled flow/endpoint lifecycle) and
+// scale100k→scale1M (streamed workload, spilling FCT collector): the
+// big run must not allocate more than -scale-growth times its small
+// partner. Exceeding the factor means per-flow allocation crept back
+// in.
 //
 // Sharded entries (a name of the form X-s<k>, e.g. scale30k-s4) pair
 // with their serial partner X within the fresh file and are reported as
@@ -52,7 +53,7 @@ func main() {
 		freshPath   = flag.String("fresh", "", "freshly generated bench json")
 		threshold   = flag.Float64("threshold", 15, "max allowed ns/op regression, percent")
 		allocThresh = flag.Float64("alloc-threshold", 20, "max allowed allocs/op regression, percent (0 disables)")
-		scaleGrowth = flag.Float64("scale-growth", 10, "max allocs/op ratio scale30k/scale3k (0 disables)")
+		scaleGrowth = flag.Float64("scale-growth", 10, "max allocs/op ratio of each 10x scale pair (scale30k/scale3k, scale1M/scale100k; 0 disables)")
 		minSpeedup  = flag.Float64("min-speedup", 0, "min wall-clock speedup of each X-s<k> entry over its serial partner X; gates only when the fresh machine has >= k CPUs (0 disables)")
 		reportOnly  = flag.Bool("report-only", false, "print the comparison but always exit 0 (PR mode)")
 		noNormalize = flag.Bool("no-normalize", false, "compare raw ns/op without machine-speed normalization")
@@ -138,23 +139,33 @@ func main() {
 		fmt.Printf("%-10s new entry (no baseline)\n", n)
 	}
 
-	// Sub-linear allocation-growth gate over the fresh scale family.
+	// Sub-linear allocation-growth gates over the fresh scale families:
+	// the materialized pair (scale3k/scale30k) guards the pooled
+	// flow/endpoint lifecycle, the streamed pair (scale100k/scale1M)
+	// additionally guards the lazy-FlowSource + spilling-collector path.
+	// Each big run spans 10× its small partner's flows, so staying under
+	// the factor means per-flow allocation stays bounded.
 	growthFailed := 0
 	if *scaleGrowth > 0 {
-		small, okS := freshBy["scale3k"]
-		big, okB := freshBy["scale30k"]
-		switch {
-		case okS && okB && small.AllocsPerOp > 0:
-			ratio := float64(big.AllocsPerOp) / float64(small.AllocsPerOp)
-			verdict := "ok (sub-linear)"
-			if ratio > *scaleGrowth {
-				verdict = "GROWTH-REGRESSION"
-				growthFailed++
+		for _, gp := range []struct{ small, big string }{
+			{"scale3k", "scale30k"},
+			{"scale100k", "scale1M"},
+		} {
+			small, okS := freshBy[gp.small]
+			big, okB := freshBy[gp.big]
+			switch {
+			case okS && okB && small.AllocsPerOp > 0:
+				ratio := float64(big.AllocsPerOp) / float64(small.AllocsPerOp)
+				verdict := "ok (sub-linear)"
+				if ratio > *scaleGrowth {
+					verdict = "GROWTH-REGRESSION"
+					growthFailed++
+				}
+				fmt.Printf("scale-growth: %s/%s allocs/op = %.2fx (limit %.0fx): %s\n",
+					gp.big, gp.small, ratio, *scaleGrowth, verdict)
+			case okS || okB:
+				fmt.Printf("scale-growth: incomplete %s/%s pair in fresh run, skipping\n", gp.small, gp.big)
 			}
-			fmt.Printf("scale-growth: scale30k/scale3k allocs/op = %.2fx (limit %.0fx): %s\n",
-				ratio, *scaleGrowth, verdict)
-		case okS || okB:
-			fmt.Println("scale-growth: incomplete scale family in fresh run, skipping")
 		}
 	}
 

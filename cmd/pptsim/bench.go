@@ -32,6 +32,19 @@ var scaleCases = []struct {
 // scaleSchemes restricts the scale family's comparison cells.
 var scaleSchemes = []string{"ppt", "dctcp"}
 
+// streamScaleCases is the streamed scale family: the scale1M experiment
+// (lazy FlowSource + spilling FCT collector, Memcached W1) at 100k and
+// 1M flows. The pair feeds benchcmp's second growth gate — with the
+// workload streamed and the completion log spilled, a 10× flow count
+// must cost no more than ~10× the allocations.
+var streamScaleCases = []struct {
+	name  string
+	flows int
+}{
+	{"scale100k", 100_000},
+	{"scale1M", 1_000_000},
+}
+
 // scaleShardWorkers is the worker cap of the sharded scale entries
 // (scale3k-s4 / scale30k-s4): the same workloads as their serial
 // partners but with up to 4 worker goroutines executing the windowed
@@ -89,6 +102,12 @@ func writeBenchJSON(path string, opts exp.Options) error {
 		Sched:     opts.Sched,
 	}
 	for _, e := range exp.List() {
+		if e.ID == "scale1M" {
+			// Measured by the streamed scale family below at its real
+			// flow counts; a smoke-scale run here would collide with the
+			// scale1M entry name.
+			continue
+		}
 		o := exp.Options{Flows: flows, Seed: opts.Seed, Parallel: 1, Sched: opts.Sched}
 		entry, err := benchOne(e.ID, e.ID, o)
 		if err != nil {
@@ -118,6 +137,17 @@ func writeBenchJSON(path string, opts exp.Options) error {
 			fmt.Fprintf(os.Stderr, "%-12s %12d ns/op %10d allocs/op %8.2f Mevents/s\n",
 				name, entry.NsPerOp, entry.AllocsPerOp, entry.EventsPerSec/1e6)
 		}
+	}
+	for _, sc := range streamScaleCases {
+		o := exp.Options{Flows: sc.flows, Seed: opts.Seed, Parallel: 1, Sched: opts.Sched,
+			Schemes: scaleSchemes}
+		entry, err := benchOne(sc.name, "scale1M", o)
+		if err != nil {
+			return err
+		}
+		out.Entries = append(out.Entries, entry)
+		fmt.Fprintf(os.Stderr, "%-12s %12d ns/op %10d allocs/op %8.2f Mevents/s\n",
+			sc.name, entry.NsPerOp, entry.AllocsPerOp, entry.EventsPerSec/1e6)
 	}
 	return out.Write(path)
 }

@@ -52,6 +52,14 @@ type Options struct {
 	// golden matrix). Star/dumbbell fabrics and non-shardable protocols
 	// ignore it. Validated by RunByID.
 	Shards int
+	// Stream feeds every cell's workload through a lazy FlowSource —
+	// flows are generated (and assigned their first-syscall size) one at
+	// a time as the simulation consumes them — instead of materializing
+	// the whole trace up front. Results are byte-identical to the
+	// materialized path at every engine setting (pinned by the streamed
+	// golden test); the knob exists so million-flow workloads cost one
+	// flow of memory, not the trace.
+	Stream bool
 
 	// errs accumulates failed cells; RunByID surfaces them as notes.
 	errs *errSink

@@ -90,6 +90,12 @@ func (p *pool) submitSpec(label string, spec runSpec) *cellOut {
 	out := &cellOut{}
 	spec.sched = p.opts.schedImpl()
 	spec.shards = p.opts.Shards
+	// Force-on only: experiments that always stream (the scale family)
+	// set spec.stream themselves; Options.Stream additionally streams
+	// every other cell.
+	if p.opts.Stream {
+		spec.stream = true
+	}
 	events := p.opts.events
 	out.job = p.submit(label, func() {
 		out.sum, out.env = execute(spec)

@@ -2,6 +2,7 @@ package exp
 
 import (
 	"fmt"
+	"math/rand"
 
 	"ppt/internal/bufaware"
 	"ppt/internal/netsim"
@@ -193,6 +194,39 @@ type runSpec struct {
 	// shardable, so non-windowed cells stay byte-for-byte on the legacy
 	// monolithic path).
 	shards int
+	// stream feeds the workload through a lazy FlowSource instead of a
+	// materialized slice (from Options.Stream, or forced on by the scale
+	// experiments). Byte-identical outcomes either way.
+	stream bool
+	// spillChunk, when > 0, bounds the FCT collector to this many
+	// resident records (stats spill mode). It implies stream and forces
+	// the monolithic engine: the windowed engine's canonical merge needs
+	// the raw record log that spill mode gives up.
+	spillChunk int
+}
+
+// streamSource adapts a lazy workload generator into transport's
+// FlowSource, assigning each flow its first-syscall size on the fly.
+// It draws from the classifier RNG exactly once per flow in generation
+// order — the same consumption sequence as bufaware.AssignFirstCalls
+// over the materialized trace — so a streamed cell releases
+// bit-identical flows to a materialized one.
+type streamSource struct {
+	gen     *workload.Generator
+	rng     *rand.Rand
+	app     bufaware.AppModel
+	sendBuf int64
+}
+
+func (s *streamSource) Next() (transport.SimpleFlow, bool) {
+	f, ok := s.gen.Next()
+	if !ok {
+		return transport.SimpleFlow{}, false
+	}
+	return transport.SimpleFlow{
+		ID: f.ID, Src: f.Src, Dst: f.Dst, Size: f.Size,
+		Arrive: f.Arrive, FirstCall: s.app.FirstCall(s.rng, f.Size, s.sendBuf),
+	}, true
 }
 
 // execute builds the fabric, generates flows, and runs to completion,
@@ -207,7 +241,7 @@ func execute(spec runSpec) (stats.Summary, *transport.Env) {
 	// split start; every maker ignores its env argument, so probing with
 	// nil is safe and the probe doubles as the run's protocol instance.
 	proto := spec.sc.make(nil)
-	if _, ok := proto.(transport.ShardableProtocol); ok && spec.shards >= 1 {
+	if _, ok := proto.(transport.ShardableProtocol); ok && spec.shards >= 1 && spec.spillChunk == 0 {
 		cfg.Shards = spec.shards
 	}
 	net := spec.fab.build(cfg)
@@ -218,14 +252,33 @@ func execute(spec runSpec) (stats.Summary, *transport.Env) {
 	if app.Name == "" {
 		app = bufaware.Bulk
 	}
-	wf := workload.Generate(workload.GenConfig{
+	genCfg := workload.GenConfig{
 		Dist:     spec.dist,
 		Pattern:  spec.pattern,
 		Load:     spec.load,
 		HostRate: cfg.HostRate,
 		NumFlows: spec.flows,
 		Seed:     spec.seed,
-	})
+	}
+	if spec.stream || spec.spillChunk > 0 {
+		if spec.spillChunk > 0 {
+			if err := env.Collector.SetSpill(spec.spillChunk); err != nil {
+				panic(err)
+			}
+			// The spill file is unlinked at creation; Close just releases
+			// the descriptor. The counters callers read afterwards
+			// (ResidentPeak, SpilledRecords) survive Close.
+			defer env.Collector.Close()
+		}
+		src := &streamSource{
+			gen:     workload.NewGenerator(genCfg),
+			rng:     rand.New(rand.NewSource(spec.seed + 7)),
+			app:     app,
+			sendBuf: spec.sendBuf,
+		}
+		return transport.RunSource(env, proto, src, transport.RunConfig{}), env
+	}
+	wf := workload.Generate(genCfg)
 	flows := make([]transport.SimpleFlow, len(wf))
 	sizes := make([]int64, len(wf))
 	for i, f := range wf {

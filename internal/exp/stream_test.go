@@ -1,0 +1,119 @@
+package exp
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ppt/internal/bufaware"
+	"ppt/internal/workload"
+)
+
+// TestStreamedExecuteMatchesMaterialized is the exp-level streamed-vs-
+// materialized differential: the same cell spec through the lazy
+// FlowSource (with and without a spilling collector) must produce the
+// byte-identical summary the materialized path does. This pins both
+// halves of the streaming pipeline at once — the generator+classifier
+// RNG consumption order, and the spill fold — through a real transport.
+func TestStreamedExecuteMatchesMaterialized(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs three full cells")
+	}
+	fab := simFabric(3, 2, 8)
+	// The memcached app model draws the classifier RNG per flow with
+	// a real chunking probability, so any divergence in draw order
+	// between AssignFirstCalls and the stream shows up immediately.
+	base := runSpec{
+		fab: fab, sc: baseSchemes()["ppt"], dist: workload.MemcachedW1,
+		pattern: workload.AllToAll{N: fab.hosts}, load: 0.5,
+		flows: 1500, seed: 3, app: bufaware.Memcached, sendBuf: 1 << 20,
+	}
+	want, _ := execute(base)
+	if want.Flows != 1500 || want.Truncated {
+		t.Fatalf("reference cell did not complete: %+v", want)
+	}
+
+	st := base
+	st.stream = true
+	if got, _ := execute(st); got != want {
+		t.Fatalf("streamed summary %+v != materialized %+v", got, want)
+	}
+
+	sp := st
+	sp.spillChunk = 64
+	got, env := execute(sp)
+	if got != want {
+		t.Fatalf("streamed+spilled summary %+v != materialized %+v", got, want)
+	}
+	if peak := env.Collector.ResidentPeak(); peak > 64 {
+		t.Fatalf("resident peak %d exceeds spill chunk 64", peak)
+	}
+	if env.Collector.SpilledRecords() == 0 {
+		t.Fatal("nothing spilled at chunk 64 with 1500 flows")
+	}
+}
+
+// TestGoldenStreamed re-renders the golden experiment slice with
+// Options.Stream set — serially on the monolithic/windowed single-
+// worker path and 4-wide on the 4-shard windowed path — and requires
+// byte-identical output to the checked-in goldens. Together with
+// TestGoldenOutputs this proves streaming is invisible to simulated
+// outcomes across the whole engine matrix.
+func TestGoldenStreamed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs several experiments")
+	}
+	for _, tc := range goldenCases {
+		tc := tc
+		t.Run(tc.id, func(t *testing.T) {
+			t.Parallel()
+			want, err := os.ReadFile(filepath.Join("testdata", "golden_"+tc.id+".txt"))
+			if err != nil {
+				t.Fatalf("missing golden file (generate with -update-golden): %v", err)
+			}
+			for _, m := range []struct {
+				parallel, shards int
+			}{{1, 1}, {4, 4}} {
+				o := tc.opts
+				o.Stream = true
+				o.Parallel = m.parallel
+				o.Shards = m.shards
+				res, err := RunByID(tc.id, o)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := res.Render() + "\n--- csv ---\n" + res.CSV()
+				if got != string(want) {
+					t.Fatalf("streamed parallel=%d shards=%d output differs from golden:\n--- got ---\n%s\n--- want ---\n%s",
+						m.parallel, m.shards, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestScale1MSpills smoke-runs the scale family's experiment just past
+// its spill chunk and checks the bounded-memory contract surfaces in
+// the result rows.
+func TestScale1MSpills(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs an 80k-flow cell")
+	}
+	res, err := RunByID("scale1M", Options{Flows: scale1MSpillChunk + 15_000, Schemes: []string{"dctcp"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %+v, want one dctcp row", res.Rows)
+	}
+	row := res.Rows[0]
+	if row.Sum.Flows != scale1MSpillChunk+15_000 || row.Sum.Truncated {
+		t.Fatalf("cell did not complete: %+v", row.Sum)
+	}
+	if peak := row.Extra["resident_peak"]; peak <= 0 || peak > scale1MSpillChunk {
+		t.Fatalf("resident_peak = %g, want in (0, %d]", peak, scale1MSpillChunk)
+	}
+	if row.Extra["spilled_records"] == 0 {
+		t.Fatal("no records spilled past the chunk boundary")
+	}
+}

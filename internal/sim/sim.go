@@ -266,15 +266,15 @@ func (t Timer) Pending() bool {
 // Stop halts Run after the currently executing event returns.
 func (s *Scheduler) Stop() { s.stopped = true }
 
-// NextAtBound returns a lower bound on the firing time of the earliest
-// pending event, and whether any event is pending. For the heap the
-// bound is exact (the root's timestamp). For the wheel it is exact when
-// the earliest event sits in the spill list, the hot bucket, or level 0
-// (one timestamp per bucket), and otherwise the start of the first
-// occupied higher-level window — a conservative lower bound. Callers
-// (the sharded run driver's idle-window skip) only rely on
-// bound <= actual, so the two implementations may return different
-// values without affecting outcomes.
+// NextAtBound returns the firing time of the earliest pending event,
+// and whether any event is pending. The value is exact for both
+// implementations: the heap reads its root, the wheel descends its
+// occupancy bitmaps to the first occupied bucket and takes that
+// bucket's minimum (see wheelNextBound). Exactness lets the sharded
+// run driver's idle-window skip jump straight to the next occupied
+// window instead of waking at the start of a coarse higher-level
+// window and re-skipping; a randomized heap/wheel differential pins
+// the equality.
 func (s *Scheduler) NextAtBound() (Time, bool) {
 	if s.impl == Heap {
 		if len(s.heap) == 0 {

@@ -245,10 +245,16 @@ func (s *Scheduler) popBucketHead(l *bucketList, e *event, v int) {
 }
 
 // wheelNextBound is the read-only twin of wheelNext's descent: it
-// reports a lower bound on the earliest pending event's time without
-// popping, cascading, or moving the cursor. The bound is exact for
-// spill/hot/level-0/single-resident cases and the containing window's
-// start otherwise (see Scheduler.NextAtBound).
+// reports the exact earliest pending event time without popping,
+// cascading, or moving the cursor. Exactness at level >= 1 rests on the
+// same structural facts as pop order: the lowest occupied level holds
+// the global minimum (level separation), within that level the first
+// occupied slot at or above the cursor's digit holds the smallest
+// byte-l prefix, and that bucket's residents differ only in bytes below
+// l — so the minimum `at` over one bucket list IS the global minimum.
+// The walk costs O(bucket residents); sparse high-level buckets hold a
+// handful of events, and the sharded engine calls this once per
+// window, not per event.
 func (s *Scheduler) wheelNextBound() (Time, bool) {
 	w := s.wheel
 	if w.count == 0 {
@@ -279,11 +285,14 @@ func (s *Scheduler) wheelNextBound() (Time, bool) {
 		if !ok {
 			panic("sim: timing wheel level count/bitmap mismatch")
 		}
-		if l := &w.buckets[int32(lvl)<<wheelBits|int32(v)]; l.head == l.tail {
-			return s.events[l.head].at, true
+		l := &w.buckets[int32(lvl)<<wheelBits|int32(v)]
+		min := s.events[l.head].at
+		for id := s.events[l.head].next; id != noSlot; id = s.events[id].next {
+			if at := s.events[id].at; at < min {
+				min = at
+			}
 		}
-		windowStart := w.cur&^(uint64(1)<<(shift+wheelBits)-1) | uint64(v)<<shift
-		return Time(windowStart), true
+		return min, true
 	}
 	panic("sim: timing wheel lost an event")
 }

@@ -213,6 +213,12 @@ func TestHeapWheelDifferential(t *testing.T) {
 		if h.Pending() != w.Pending() {
 			t.Fatalf("pending diverged: heap %d, wheel %d", h.Pending(), w.Pending())
 		}
+		hAt, hOK := h.NextAtBound()
+		wAt, wOK := w.NextAtBound()
+		if hAt != wAt || hOK != wOK {
+			t.Fatalf("NextAtBound diverged: heap (%v, %v), wheel (%v, %v)",
+				hAt, hOK, wAt, wOK)
+		}
 	}
 
 	for i := 0; i < ops; i++ {
@@ -275,4 +281,77 @@ func TestHeapWheelDifferential(t *testing.T) {
 	if h.Pending() != 0 {
 		t.Fatalf("events left after drain: %d", h.Pending())
 	}
+}
+
+// TestNextAtBoundExactDifferential pins NextAtBound's exactness: after
+// every randomized Schedule / Stop / RunUntil operation, the wheel's
+// bound must equal the heap's root timestamp — not merely lower-bound
+// it. Delays are drawn log-uniform so the earliest event regularly
+// lives in a multi-resident higher-level bucket (the case the old
+// implementation answered with the coarse window start), and aborted
+// RunUntil descents exercise the spill-list branch.
+func TestNextAtBoundExactDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	h := NewSchedulerImpl(Heap)
+	w := NewSchedulerImpl(Wheel)
+
+	type pair struct{ th, tw Timer }
+	var live []pair
+	check := func(op string, i int) {
+		hAt, hOK := h.NextAtBound()
+		wAt, wOK := w.NextAtBound()
+		if hAt != wAt || hOK != wOK {
+			t.Fatalf("op %d (%s): NextAtBound heap (%v, %v) != wheel (%v, %v)",
+				i, op, hAt, hOK, wAt, wOK)
+		}
+	}
+	randDelay := func() Time {
+		if rng.Intn(8) == 0 {
+			return Time(1) << uint(rng.Intn(40)) // exact level boundaries
+		}
+		return Time(rng.Int63n(int64(1)<<uint(rng.Intn(36)) + 1))
+	}
+
+	for i := 0; i < 30_000; i++ {
+		switch r := rng.Intn(100); {
+		case r < 60:
+			at := h.Now() + randDelay()
+			live = append(live, pair{
+				th: h.At(at, func() {}),
+				tw: w.At(at, func() {}),
+			})
+			check("schedule", i)
+		case r < 75:
+			if len(live) == 0 {
+				continue
+			}
+			j := rng.Intn(len(live))
+			p := live[j]
+			if sh, sw := p.th.Stop(), p.tw.Stop(); sh != sw {
+				t.Fatalf("op %d: Stop diverged heap %v wheel %v", i, sh, sw)
+			}
+			live[j] = live[len(live)-1]
+			live = live[:len(live)-1]
+			check("stop", i)
+		default:
+			d := randDelay()
+			if nh, nw := h.RunUntil(h.Now()+d), w.RunUntil(w.Now()+d); nh != nw {
+				t.Fatalf("op %d: RunUntil ran %d on heap, %d on wheel", i, nh, nw)
+			}
+			check("rununtil", i)
+		}
+		if len(live) > 1<<14 {
+			kept := live[:0]
+			for _, p := range live {
+				if p.th.Pending() {
+					kept = append(kept, p)
+				}
+			}
+			live = kept
+		}
+	}
+	if nh, nw := h.Run(), w.Run(); nh != nw {
+		t.Fatalf("final drain ran %d on heap, %d on wheel", nh, nw)
+	}
+	check("drain", -1)
 }

@@ -30,13 +30,18 @@ type FCTRecord struct {
 // FCT returns the flow completion time.
 func (r FCTRecord) FCT() sim.Time { return r.End - r.Start }
 
-// Collector accumulates flow completions.
+// Collector accumulates flow completions. By default every record stays
+// resident; SetSpill bounds resident memory for million-flow runs (see
+// spill.go).
 type Collector struct {
 	records []FCTRecord
 
 	// scratch is Summarize's small-FCT workspace, reused across calls so
 	// summarizing is allocation-free once the run's flow count is known.
 	scratch []float64
+
+	// sp, when non-nil, holds the bounded-memory spill state.
+	sp *spillState
 }
 
 // NewCollector returns an empty collector.
@@ -46,6 +51,11 @@ func NewCollector() *Collector { return &Collector{} }
 // record log (and Summarize's workspace) never reallocates mid-run.
 func (c *Collector) Reserve(n int) {
 	if n <= 0 {
+		return
+	}
+	if c.sp != nil {
+		// Spill mode already owns a chunk-sized buffer; growing to the
+		// full flow count would defeat the memory bound.
 		return
 	}
 	if need := len(c.records) + n; need > cap(c.records) {
@@ -64,10 +74,23 @@ func (c *Collector) Complete(flowID uint32, size int64, start, end sim.Time) {
 		panic("stats: flow completed before it started")
 	}
 	c.records = append(c.records, FCTRecord{flowID, size, start, end})
+	if sp := c.sp; sp != nil {
+		if len(c.records) > sp.maxResident {
+			sp.maxResident = len(c.records)
+		}
+		if len(c.records) >= sp.chunk {
+			c.spillChunk()
+		}
+	}
 }
 
 // Count reports completed flows.
-func (c *Collector) Count() int { return len(c.records) }
+func (c *Collector) Count() int {
+	if c.sp != nil {
+		return c.sp.flows + len(c.records)
+	}
+	return len(c.records)
+}
 
 // MergeCanonical appends every record of srcs into c and sorts the
 // combined log by (End, Start, FlowID). The windowed (sharded) run
@@ -78,6 +101,14 @@ func (c *Collector) Count() int { return len(c.records) }
 // reported mean, bit for bit — independent of shard count. Monolithic
 // runs never call this and keep their historical completion order.
 func (c *Collector) MergeCanonical(srcs ...*Collector) {
+	if c.sp != nil {
+		panic("stats: MergeCanonical on a spilling collector (spill mode is monolithic-only)")
+	}
+	for _, s := range srcs {
+		if s.sp != nil {
+			panic("stats: MergeCanonical from a spilling collector")
+		}
+	}
 	n := 0
 	for _, s := range srcs {
 		n += len(s.records)
@@ -98,8 +129,14 @@ func (c *Collector) MergeCanonical(srcs ...*Collector) {
 	})
 }
 
-// Records returns the raw completions.
-func (c *Collector) Records() []FCTRecord { return c.records }
+// Records returns the raw completions. Unavailable in spill mode: the
+// full log no longer exists.
+func (c *Collector) Records() []FCTRecord {
+	if c.sp != nil {
+		panic("stats: Records on a spilling collector")
+	}
+	return c.records
+}
 
 // Summary is the per-figure FCT breakdown.
 type Summary struct {
@@ -121,8 +158,13 @@ type Summary struct {
 	Unfinished int // flows still open when the bound tripped
 }
 
-// Summarize computes the standard breakdown.
+// Summarize computes the standard breakdown. In spill mode the result
+// is bit-identical to what the in-memory path would report over the
+// same completion sequence (see spill.go for the argument).
 func (c *Collector) Summarize() Summary {
+	if c.sp != nil {
+		return c.summarizeSpill()
+	}
 	var s Summary
 	s.Flows = len(c.records)
 	if s.Flows == 0 {

@@ -1,7 +1,7 @@
 package transport
 
 import (
-	"sort"
+	"fmt"
 	"sync/atomic"
 
 	"ppt/internal/netsim"
@@ -160,8 +160,50 @@ func (c *crew) stop() {
 	}
 }
 
-// runSharded is Run's windowed twin for partitioned fabrics.
-func runSharded(env *Env, proto ShardableProtocol, flows []SimpleFlow, cfg RunConfig) stats.Summary {
+// shardQueue is one shard's pending-release buffer: the driver pushes
+// flows destined for the shard's releaser at barriers, the releaser
+// pulls them (through the FlowSource interface) while executing a
+// window. The two never run concurrently — barriers are quiescent — so
+// no locking. Drained prefixes are compacted away so steady-state
+// memory is one lookahead window's worth of flows, not the whole trace.
+type shardQueue struct {
+	flows []SimpleFlow
+	next  int
+}
+
+func (q *shardQueue) Next() (SimpleFlow, bool) {
+	if q.next >= len(q.flows) {
+		q.flows = q.flows[:0]
+		q.next = 0
+		return SimpleFlow{}, false
+	}
+	f := q.flows[q.next]
+	q.next++
+	return f, true
+}
+
+func (q *shardQueue) push(f SimpleFlow) {
+	if q.next > 4096 && q.next*2 >= len(q.flows) {
+		m := copy(q.flows, q.flows[q.next:])
+		q.flows = q.flows[:m]
+		q.next = 0
+	}
+	q.flows = append(q.flows, f)
+}
+
+func (q *shardQueue) pending() int { return len(q.flows) - q.next }
+
+// runShardedSource is RunSource's windowed twin for partitioned
+// fabrics. The single arrival-ordered source is demultiplexed at window
+// barriers: before each window the driver pulls every flow arriving
+// inside it, pushes each onto its source shard's queue, and arms any
+// idle releaser. A flow arriving in window k cannot be released before
+// window k, so feeding at the k-1/k barrier is always in time, and
+// same-timestamp flows keep their source order within a shard (the
+// queue preserves it) and their canonical cross-shard order at
+// barriers (receiver starts apply in source-shard index order, as
+// before).
+func runShardedSource(env *Env, proto ShardableProtocol, src FlowSource, cfg RunConfig) stats.Summary {
 	part := env.Net.Part
 	n := part.N
 	w := part.Window
@@ -176,7 +218,6 @@ func runSharded(env *Env, proto ShardableProtocol, flows []SimpleFlow, cfg RunCo
 		recv:      make([][]*Flow, n),
 		tear:      make([][]*Flow, n),
 	}
-	run.remaining.Store(int64(len(flows)))
 	run.envs = make([]*Env, n)
 	for i := range run.envs {
 		run.envs[i] = &Env{
@@ -191,27 +232,53 @@ func runSharded(env *Env, proto ShardableProtocol, flows []SimpleFlow, cfg RunCo
 		}
 	}
 
-	// Partition the workload by source shard, preserving arrival order
-	// (ties keep input order, as in the monolithic releaser), and
-	// pre-size each shard's collector by the completions it will record
-	// — those land in the receiver's shard.
-	if !arrivalSorted(flows) {
-		flows = append([]SimpleFlow(nil), flows...)
-		sort.SliceStable(flows, func(i, j int) bool { return flows[i].Arrive < flows[j].Arrive })
-	}
-	perShard := make([][]SimpleFlow, n)
-	for _, f := range flows {
-		s := part.HostShard[f.Src]
-		perShard[s] = append(perShard[s], f)
-		run.envs[part.HostShard[f.Dst]].Collector.Reserve(1)
-	}
-	for i, sf := range perShard {
-		if len(sf) == 0 {
-			continue
-		}
-		rel := &releaser{env: run.envs[i], proto: proto, flows: sf, sharded: run, shard: i}
+	queues := make([]*shardQueue, n)
+	rels := make([]*releaser, n)
+	for i := range queues {
+		queues[i] = &shardQueue{}
+		rel := &releaser{env: run.envs[i], proto: proto, src: queues[i], sharded: run, shard: i}
 		rel.fireFn = rel.fire
-		part.Scheds[i].At(sf[0].Arrive, rel.fireFn)
+		rels[i] = rel
+	}
+
+	// srcNext is the driver's one-flow lookahead into the global stream.
+	var srcNext SimpleFlow
+	srcHave := false
+	var lastArrive sim.Time
+	pull := func() {
+		f, ok := src.Next()
+		if !ok {
+			srcHave = false
+			return
+		}
+		if f.Arrive < lastArrive {
+			panic(fmt.Sprintf("transport: FlowSource yielded decreasing arrival times (%v after %v); sources must be arrival-sorted",
+				f.Arrive, lastArrive))
+		}
+		lastArrive = f.Arrive
+		srcNext, srcHave = f, true
+	}
+	pull()
+	// feed routes every flow arriving by horizon to its source shard's
+	// queue (counting it as outstanding) and arms idle releasers. Runs
+	// on the driver thread while every shard is quiescent.
+	feed := func(horizon sim.Time) {
+		for srcHave && srcNext.Arrive <= horizon {
+			queues[part.HostShard[srcNext.Src]].push(srcNext)
+			run.remaining.Add(1)
+			pull()
+		}
+		for _, rel := range rels {
+			if !rel.armed {
+				if !rel.havePending {
+					rel.prime()
+				}
+				if rel.havePending {
+					rel.env.sched.At(rel.pending.Arrive, rel.fireFn)
+					rel.armed = true
+				}
+			}
+		}
 	}
 
 	if cfg.MaxEvents == 0 {
@@ -248,6 +315,8 @@ func runSharded(env *Env, proto ShardableProtocol, flows []SimpleFlow, cfg RunCo
 		if runTo > deadline {
 			runTo = deadline
 		}
+		// Feed this window's arrivals before any shard executes it.
+		feed(runTo)
 		if workerPool != nil {
 			workerPool.runWindow(runTo)
 		} else {
@@ -259,7 +328,7 @@ func runSharded(env *Env, proto ShardableProtocol, flows []SimpleFlow, cfg RunCo
 		netsim.MergeWindows(part.Outboxes, part.Inboxes)
 		run.applyReceiverStarts()
 		run.applyTeardowns()
-		if run.remaining.Load() <= 0 {
+		if run.remaining.Load() <= 0 && !srcHave {
 			break
 		}
 		if env.Net.Executed() >= budget {
@@ -269,11 +338,11 @@ func runSharded(env *Env, proto ShardableProtocol, flows []SimpleFlow, cfg RunCo
 			break
 		}
 		// Advance, skipping windows no shard has events in. NextAtBound
-		// is a lower bound (exact for the heap, possibly coarse for the
-		// wheel), so the skip target may undershoot — never overshoot —
-		// the next event's window; skipped windows are provably empty and
-		// their barriers would be no-ops, so the two queue
-		// implementations stay byte-identical despite different bounds.
+		// is exact for both queue implementations, so the skip lands
+		// directly on the next occupied window; skipped windows are
+		// provably empty and their barriers would be no-ops, so barrier
+		// times stay on the same absolute grid regardless of queue
+		// implementation.
 		next := sim.MaxTime
 		idle := true
 		for _, s := range part.Scheds {
@@ -283,6 +352,12 @@ func runSharded(env *Env, proto ShardableProtocol, flows []SimpleFlow, cfg RunCo
 					next = at
 				}
 			}
+		}
+		if srcHave && srcNext.Arrive < next {
+			// Quiet fabric but the stream has future arrivals: skip to
+			// their window instead of breaking or crawling.
+			next = srcNext.Arrive
+			idle = false
 		}
 		if idle {
 			// Drained with flows outstanding: a protocol stall; report
@@ -311,9 +386,22 @@ func runSharded(env *Env, proto ShardableProtocol, flows []SimpleFlow, cfg RunCo
 		env.Eff.SentPayload += h.NIC().Stats.TxDataBytes
 	}
 	sum := env.Collector.Summarize()
-	if left := run.remaining.Load(); left > 0 {
+	// Unfinished counts released-or-queued flows that never completed
+	// plus everything still in the stream.
+	left := int(run.remaining.Load())
+	if srcHave {
+		left++
+		srcHave = false
+	}
+	for {
+		if _, ok := src.Next(); !ok {
+			break
+		}
+		left++
+	}
+	if left > 0 {
 		sum.Truncated = true
-		sum.Unfinished = int(left)
+		sum.Unfinished = left
 	}
 	return sum
 }

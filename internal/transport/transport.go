@@ -64,6 +64,9 @@ type Env struct {
 
 	remaining    int
 	stopWhenDone bool
+	// feeding is true while the run's FlowSource may still yield flows;
+	// the last completion only stops the loop once the source is dry.
+	feeding bool
 
 	// OnComplete, when set, observes each completion (after recording).
 	// Observers must not retain the *Flow past the callback: under a
@@ -173,7 +176,7 @@ func (e *Env) Complete(f *Flow) {
 	}
 	if e.stopWhenDone {
 		e.remaining--
-		if e.remaining == 0 {
+		if e.remaining == 0 && !e.feeding {
 			e.Sched().Stop()
 		}
 	}
@@ -265,18 +268,59 @@ type SimpleFlow struct {
 	FirstCall int64
 }
 
-// releaser is Run's rolling arrival cursor: instead of materializing a
-// *Flow, a capturing closure, and a scheduler event per flow before the
-// run starts, one timer walks an arrival-sorted view of the workload and
-// releases each batch of same-timestamp flows when its moment comes.
-// Peak pre-run state drops from O(flows) heap objects to one event, and
-// the Flow structs themselves come from the Env freelist when the
-// protocol supports recycling.
+// FlowSource yields pending transfers lazily, one at a time, in
+// nondecreasing arrival order (the releaser panics on a decreasing
+// source). It is the streaming counterpart of a materialized
+// []SimpleFlow: a million-flow workload pulled through a FlowSource
+// costs one SimpleFlow of lookahead instead of the whole slice.
+// workload.Generator and workload.TraceReader adapt to it trivially.
+type FlowSource interface {
+	// Next returns the next flow; ok is false once the source is
+	// exhausted, and stays false on every later call.
+	Next() (SimpleFlow, bool)
+}
+
+// sliceSource adapts a materialized, arrival-sorted slice to FlowSource.
+type sliceSource struct {
+	flows []SimpleFlow
+	next  int
+}
+
+func (s *sliceSource) Next() (SimpleFlow, bool) {
+	if s.next >= len(s.flows) {
+		return SimpleFlow{}, false
+	}
+	f := s.flows[s.next]
+	s.next++
+	return f, true
+}
+
+// releaser is the run's rolling arrival cursor: instead of
+// materializing a *Flow, a capturing closure, and a scheduler event per
+// flow before the run starts, one timer pulls flows from a FlowSource
+// with a single-flow lookahead and releases each batch of
+// same-timestamp flows when its moment comes. Peak pre-run state drops
+// from O(flows) heap objects to one event and one pending SimpleFlow,
+// and the Flow structs themselves come from the Env freelist when the
+// protocol supports recycling. Pulling never touches the scheduler, so
+// for a materialized source the (time, seq) sequence of release events
+// is identical to walking the slice directly.
 type releaser struct {
 	env   *Env
 	proto Protocol
-	flows []SimpleFlow // sorted by Arrive, input order preserved on ties
-	next  int
+	src   FlowSource
+
+	// pending is the one-flow lookahead: the next flow to release, if
+	// havePending.
+	pending     SimpleFlow
+	havePending bool
+	lastArrive  sim.Time
+
+	// armed tracks whether a scheduler event exists that will call fire;
+	// the windowed driver re-arms idle releasers at barriers as it feeds
+	// their queues.
+	armed bool
+
 	// fireFn is fire bound once; re-arming with a fresh method value
 	// would allocate per batch.
 	fireFn func()
@@ -287,16 +331,36 @@ type releaser struct {
 	shard   int
 }
 
+// prime refills the lookahead from the source, enforcing nondecreasing
+// arrival order.
+func (rel *releaser) prime() {
+	f, ok := rel.src.Next()
+	if !ok {
+		return
+	}
+	if f.Arrive < rel.lastArrive {
+		panic(fmt.Sprintf("transport: FlowSource yielded decreasing arrival times (%v after %v); sources must be arrival-sorted",
+			f.Arrive, rel.lastArrive))
+	}
+	rel.lastArrive = f.Arrive
+	rel.pending = f
+	rel.havePending = true
+}
+
 // fire releases every flow whose arrival time has come, then re-arms
-// for the next pending arrival. Same-timestamp flows start in input
+// for the next pending arrival. Same-timestamp flows start in source
 // order — exactly the (time, seq) order the per-flow events of the old
 // scheme gave them.
 func (rel *releaser) fire() {
 	env := rel.env
 	now := env.Now()
-	for rel.next < len(rel.flows) && rel.flows[rel.next].Arrive <= now {
-		wf := &rel.flows[rel.next]
-		rel.next++
+	rel.armed = false
+	if !rel.havePending {
+		rel.prime()
+	}
+	for rel.havePending && rel.pending.Arrive <= now {
+		wf := rel.pending
+		rel.havePending = false
 		f := env.getFlow()
 		f.ID = wf.ID
 		f.Src = env.Net.Hosts[wf.Src]
@@ -307,16 +371,46 @@ func (rel *releaser) fire() {
 			f.FirstCall = wf.Size
 		}
 		f.Start = now
-		if r := rel.sharded; r != nil && r.hostShard[wf.Src] != r.hostShard[wf.Dst] {
-			f.crossShard = true
-			r.stageReceiverStart(rel.shard, f)
-			r.proto.StartSender(env, f)
+		if r := rel.sharded; r != nil {
+			if r.hostShard[wf.Src] != r.hostShard[wf.Dst] {
+				f.crossShard = true
+				r.stageReceiverStart(rel.shard, f)
+				r.proto.StartSender(env, f)
+			} else {
+				rel.proto.Start(env, f)
+			}
 		} else {
+			env.remaining++
 			rel.proto.Start(env, f)
 		}
+		rel.prime()
 	}
-	if rel.next < len(rel.flows) {
-		env.Sched().At(rel.flows[rel.next].Arrive, rel.fireFn)
+	if rel.havePending {
+		env.Sched().At(rel.pending.Arrive, rel.fireFn)
+		rel.armed = true
+	} else if rel.sharded == nil {
+		// Source dry and nothing pending: the next completion that
+		// drains remaining may stop the run.
+		env.feeding = false
+		if env.stopWhenDone && env.remaining == 0 {
+			env.Sched().Stop()
+		}
+	}
+}
+
+// unreleased counts the flows the releaser never started, draining the
+// source; used only for truncation reporting after the run loop exits.
+func (rel *releaser) unreleased() int {
+	n := 0
+	if rel.havePending {
+		n++
+		rel.havePending = false
+	}
+	for {
+		if _, ok := rel.src.Next(); !ok {
+			return n
+		}
+		n++
 	}
 }
 
@@ -336,32 +430,51 @@ func arrivalSorted(flows []SimpleFlow) bool {
 // simulation until every flow completes (or a safety bound trips). It
 // returns the FCT summary. On a partitioned fabric (topo.Config.Shards
 // >= 1) the windowed multi-core driver takes over; proto must then be a
-// ShardableProtocol.
+// ShardableProtocol. Run is the materialized convenience over
+// RunSource: it sorts (if needed), reserves the collector, and streams
+// the slice — producing the exact event sequence walking the slice
+// always has.
 func Run(env *Env, proto Protocol, flows []SimpleFlow, cfg RunConfig) stats.Summary {
+	if !arrivalSorted(flows) {
+		flows = append([]SimpleFlow(nil), flows...)
+		sort.SliceStable(flows, func(i, j int) bool { return flows[i].Arrive < flows[j].Arrive })
+	}
+	if env.Net.Part == nil {
+		env.Collector.Reserve(len(flows))
+	}
+	return RunSource(env, proto, &sliceSource{flows: flows}, cfg)
+}
+
+// RunSource is Run over a lazily produced workload: flows are pulled
+// from src — which must yield nondecreasing arrival times — with a
+// single-flow lookahead, so a million-flow run never materializes its
+// trace. Completion statistics still accumulate in env.Collector; pair
+// with stats.Collector.SetSpill to bound that side too.
+func RunSource(env *Env, proto Protocol, src FlowSource, cfg RunConfig) stats.Summary {
 	if env.Net.Part != nil {
 		sp, ok := proto.(ShardableProtocol)
 		if !ok {
 			panic(fmt.Sprintf("transport: partitioned fabric requires a ShardableProtocol; %s is not one", proto.Name()))
 		}
-		return runSharded(env, sp, flows, cfg)
+		return runShardedSource(env, sp, src, cfg)
 	}
-	env.remaining = len(flows)
+	env.remaining = 0
 	env.stopWhenDone = true
-	env.Collector.Reserve(len(flows))
+	env.feeding = true
 	_, env.recycleFlows = proto.(FlowRecycler)
 	sched := env.Sched()
 	if cfg.MaxEvents == 0 {
 		cfg.MaxEvents = 2_000_000_000
 	}
 	sched.Limit = sched.Executed + cfg.MaxEvents
-	if len(flows) > 0 {
-		rel := &releaser{env: env, proto: proto, flows: flows}
-		if !arrivalSorted(flows) {
-			rel.flows = append([]SimpleFlow(nil), flows...)
-			sort.SliceStable(rel.flows, func(i, j int) bool { return rel.flows[i].Arrive < rel.flows[j].Arrive })
-		}
-		rel.fireFn = rel.fire
-		sched.At(rel.flows[0].Arrive, rel.fireFn)
+	rel := &releaser{env: env, proto: proto, src: src}
+	rel.fireFn = rel.fire
+	rel.prime()
+	if rel.havePending {
+		sched.At(rel.pending.Arrive, rel.fireFn)
+		rel.armed = true
+	} else {
+		env.feeding = false
 	}
 	deadline := sim.MaxTime
 	if cfg.Deadline != 0 {
@@ -369,17 +482,20 @@ func Run(env *Env, proto Protocol, flows []SimpleFlow, cfg RunConfig) stats.Summ
 	}
 	sched.RunUntil(deadline)
 	env.recycleFlows = false
+	env.feeding = false
 	// Account host-NIC payload counters into the efficiency summary.
 	for _, h := range env.Net.Hosts {
 		env.Eff.SentPayload += h.NIC().Stats.TxDataBytes
 	}
 	sum := env.Collector.Summarize()
-	if env.remaining > 0 {
+	if unfinished := env.remaining + rel.unreleased(); unfinished > 0 {
 		// MaxEvents or Deadline tripped before every flow finished: the
 		// summary covers only the flows that made it, which silently biases
 		// FCT statistics toward the fast ones. Flag it so callers can warn.
+		// Unfinished counts released-but-incomplete flows and everything
+		// the source still held.
 		sum.Truncated = true
-		sum.Unfinished = env.remaining
+		sum.Unfinished = unfinished
 	}
 	return sum
 }

@@ -83,27 +83,72 @@ type GenConfig struct {
 	StartID uint32
 }
 
-// Generate produces NumFlows flows with Poisson arrivals whose aggregate
-// rate offers Load × HostRate per receiver downlink.
-func Generate(cfg GenConfig) []Flow {
-	rng := rand.New(rand.NewSource(cfg.Seed))
+// FlowSource yields flows lazily, one at a time, in nondecreasing
+// arrival order. It is the streaming counterpart of a materialized
+// []Flow: a million-flow workload pulled through a FlowSource costs one
+// Flow of memory instead of the whole trace.
+type FlowSource interface {
+	// Next returns the next flow. ok is false once the source is
+	// exhausted; after that every call keeps returning ok == false.
+	Next() (Flow, bool)
+}
+
+// Generator streams the exact flow sequence Generate materializes: it
+// owns the same seeded RNG and draws gap, endpoints, and size in the
+// same order, so the i-th flow from Next is bit-identical to
+// Generate(cfg)[i] (pinned by TestGeneratorMatchesGenerate).
+type Generator struct {
+	rng       *rand.Rand
+	cfg       GenConfig
+	meanGapPs float64
+	now       float64
+	next      int
+}
+
+// NewGenerator returns a FlowSource over cfg's flow sequence.
+func NewGenerator(cfg GenConfig) *Generator {
 	// Aggregate bytes/sec offered across the fabric.
 	bytesPerSec := cfg.Load * float64(cfg.HostRate) / 8 * float64(cfg.Pattern.Receivers())
 	flowsPerSec := bytesPerSec / cfg.Dist.Mean()
-	meanGapPs := 1e12 / flowsPerSec
-
-	flows := make([]Flow, 0, cfg.NumFlows)
-	var now float64
-	for i := 0; i < cfg.NumFlows; i++ {
-		now += rng.ExpFloat64() * meanGapPs
-		src, dst := cfg.Pattern.Pick(rng)
-		flows = append(flows, Flow{
-			ID:     cfg.StartID + uint32(i) + 1,
-			Src:    src,
-			Dst:    dst,
-			Size:   cfg.Dist.Sample(rng),
-			Arrive: sim.Time(now),
-		})
+	return &Generator{
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		cfg:       cfg,
+		meanGapPs: 1e12 / flowsPerSec,
 	}
-	return flows
+}
+
+// Next implements FlowSource.
+func (g *Generator) Next() (Flow, bool) {
+	if g.next >= g.cfg.NumFlows {
+		return Flow{}, false
+	}
+	g.now += g.rng.ExpFloat64() * g.meanGapPs
+	src, dst := g.cfg.Pattern.Pick(g.rng)
+	f := Flow{
+		ID:     g.cfg.StartID + uint32(g.next) + 1,
+		Src:    src,
+		Dst:    dst,
+		Size:   g.cfg.Dist.Sample(g.rng),
+		Arrive: sim.Time(g.now),
+	}
+	g.next++
+	return f, true
+}
+
+// Remaining reports how many flows Next has yet to produce.
+func (g *Generator) Remaining() int { return g.cfg.NumFlows - g.next }
+
+// Generate produces NumFlows flows with Poisson arrivals whose aggregate
+// rate offers Load × HostRate per receiver downlink. It is the
+// materialized view of NewGenerator's stream.
+func Generate(cfg GenConfig) []Flow {
+	g := NewGenerator(cfg)
+	flows := make([]Flow, 0, cfg.NumFlows)
+	for {
+		f, ok := g.Next()
+		if !ok {
+			return flows
+		}
+		flows = append(flows, f)
+	}
 }
