@@ -184,14 +184,23 @@ func main() {
 		}
 		speedup := float64(serial.NsPerOp) / float64(f.NsPerOp)
 		verdict := ""
+		regressed := false
 		switch {
 		case fresh.NumCPU < workers:
 			verdict = fmt.Sprintf(" (informational: %d workers on %d cpu)", workers, fresh.NumCPU)
 		case *minSpeedup > 0 && speedup < *minSpeedup:
 			verdict = fmt.Sprintf("  SPEEDUP-REGRESSION (want >= %.2fx)", *minSpeedup)
+			regressed = true
 			speedupFailed++
 		}
-		fmt.Printf("speedup: %s vs %s = %.2fx%s\n", f.Name, serialName, speedup, verdict)
+		fmt.Printf("speedup: %s vs %s = %.2fx%s%s\n",
+			f.Name, serialName, speedup, shardExtras(f), verdict)
+		if regressed {
+			// Say why: the windowed-engine extras localize a parallel
+			// regression to barrier overhead, idle windows, or load
+			// imbalance without a rerun under a profiler.
+			fmt.Printf("speedup: %s diagnosis: %s\n", f.Name, diagnose(f))
+		}
 	}
 
 	failed := nsFailed + allocFailed + growthFailed + speedupFailed
@@ -206,6 +215,46 @@ func main() {
 	} else {
 		fmt.Println("benchcmp: no regressions beyond thresholds")
 	}
+}
+
+// shardExtras renders the windowed-engine instrumentation carried by a
+// sharded entry (empty when the entry predates the extras).
+func shardExtras(e benchfmt.Entry) string {
+	if e.Rounds == 0 {
+		return ""
+	}
+	skipFrac := 0.0
+	if t := e.WindowsRun + e.WindowsSkipped; t > 0 {
+		skipFrac = float64(e.WindowsSkipped) / float64(t)
+	}
+	return fmt.Sprintf(" [rounds %d, windows skipped %.0f%%, barrier %.0f%%, busy %.0f-%.0f%%]",
+		e.Rounds, 100*skipFrac, 100*e.BarrierFrac, 100*e.BusyMinFrac, 100*e.BusyMaxFrac)
+}
+
+// diagnose names the dominant windowed-engine cost of a sharded entry
+// that missed its speedup bound.
+func diagnose(e benchfmt.Entry) string {
+	if e.Rounds == 0 {
+		return "no windowed-engine extras recorded (old writer?); rerun pptsim -benchjson for diagnostics"
+	}
+	var reasons []string
+	if e.BarrierFrac > 0.3 {
+		reasons = append(reasons, fmt.Sprintf("barrier-bound (%.0f%% of engine wall-clock at barriers over %d rounds — lookahead too narrow or merge too slow)",
+			100*e.BarrierFrac, e.Rounds))
+	}
+	if spread := e.BusyMaxFrac - e.BusyMinFrac; e.BusyMaxFrac > 0 && spread > 0.4 {
+		reasons = append(reasons, fmt.Sprintf("load-imbalanced (per-shard busy fractions span %.0f%%-%.0f%% — partitioner leaving workers idle)",
+			100*e.BusyMinFrac, 100*e.BusyMaxFrac))
+	}
+	if t := e.WindowsRun + e.WindowsSkipped; t > 0 {
+		if skip := float64(e.WindowsSkipped) / float64(t); skip > 0.6 {
+			reasons = append(reasons, fmt.Sprintf("mostly idle windows (%.0f%% skipped — workload too sparse for this shard count)", 100*skip))
+		}
+	}
+	if len(reasons) == 0 {
+		return "extras look healthy (low barrier share, balanced shards); the regression is likely outside the windowed engine (machine load, allocator, workload change)"
+	}
+	return strings.Join(reasons, "; ")
 }
 
 // shardPartner splits a sharded bench name "X-s<k>" into its serial

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"ppt/internal/benchfmt"
@@ -77,6 +78,14 @@ func benchOne(name, id string, o exp.Options) (benchfmt.Entry, error) {
 	if s := elapsed.Seconds(); s > 0 {
 		entry.EventsPerSec = float64(res.Events) / s
 	}
+	if st := res.Sharding; st != nil {
+		entry.Rounds = st.Rounds
+		entry.WindowsRun = st.WindowsRun
+		entry.WindowsSkipped = st.WindowsSkipped
+		entry.CrossPackets = st.CrossPackets
+		entry.BarrierFrac = st.BarrierFrac()
+		entry.BusyMinFrac, entry.BusyMaxFrac = st.BusyFracBounds()
+	}
 	return entry, nil
 }
 
@@ -87,7 +96,27 @@ func benchOne(name, id string, o exp.Options) (benchfmt.Entry, error) {
 // tables, the identification study) are skipped: they finish in
 // microseconds, so their timings are pure noise to the benchcmp
 // regression gate, and events/sec is undefined for them.
-func writeBenchJSON(path string, opts exp.Options) error {
+//
+// A non-empty filter (comma-separated entry-name prefixes) restricts
+// the run to matching entries — CI's multi-core speedup gate uses
+// "scale3k,scale30k" to record just the sharded scale pairs without
+// paying for the full figure sweep.
+func writeBenchJSON(path, filter string, opts exp.Options) error {
+	var prefixes []string
+	if filter != "" {
+		prefixes = strings.Split(filter, ",")
+	}
+	wanted := func(name string) bool {
+		if len(prefixes) == 0 {
+			return true
+		}
+		for _, p := range prefixes {
+			if strings.HasPrefix(name, p) {
+				return true
+			}
+		}
+		return false
+	}
 	flows := opts.Flows
 	if flows == 0 {
 		flows = benchFlows
@@ -106,6 +135,9 @@ func writeBenchJSON(path string, opts exp.Options) error {
 			// Measured by the streamed scale family below at its real
 			// flow counts; a smoke-scale run here would collide with the
 			// scale1M entry name.
+			continue
+		}
+		if !wanted(e.ID) {
 			continue
 		}
 		o := exp.Options{Flows: flows, Seed: opts.Seed, Parallel: 1, Sched: opts.Sched}
@@ -127,6 +159,9 @@ func writeBenchJSON(path string, opts exp.Options) error {
 			if shards > 1 {
 				name = fmt.Sprintf("%s-s%d", sc.name, shards)
 			}
+			if !wanted(name) {
+				continue
+			}
 			o := exp.Options{Flows: sc.flows, Seed: opts.Seed, Parallel: 1, Sched: opts.Sched,
 				Schemes: scaleSchemes, Shards: shards}
 			entry, err := benchOne(name, "fig12", o)
@@ -139,6 +174,9 @@ func writeBenchJSON(path string, opts exp.Options) error {
 		}
 	}
 	for _, sc := range streamScaleCases {
+		if !wanted(sc.name) {
+			continue
+		}
 		o := exp.Options{Flows: sc.flows, Seed: opts.Seed, Parallel: 1, Sched: opts.Sched,
 			Schemes: scaleSchemes}
 		entry, err := benchOne(sc.name, "scale1M", o)

@@ -48,10 +48,11 @@ func main() {
 		asCSV    = flag.Bool("csv", false, "emit results as CSV instead of tables")
 		asJSON   = flag.Bool("json", false, "emit results as JSON instead of tables")
 
-		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
-		traceFile  = flag.String("trace", "", "write a runtime execution trace to this file")
-		benchjson  = flag.String("benchjson", "", "benchmark every experiment once and write ns/op, allocs/op and events/sec to this JSON file (e.g. BENCH_2026-08-06.json)")
+		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile  = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		traceFile   = flag.String("trace", "", "write a runtime execution trace to this file")
+		benchjson   = flag.String("benchjson", "", "benchmark every experiment once and write ns/op, allocs/op and events/sec to this JSON file (e.g. BENCH_2026-08-06.json)")
+		benchfilter = flag.String("benchfilter", "", "comma-separated entry-name prefixes restricting -benchjson (e.g. scale3k,scale30k runs only the sharded scale pairs); empty runs everything")
 	)
 	flag.Parse()
 
@@ -114,7 +115,11 @@ func main() {
 		}()
 	}
 
-	opts := exp.Options{Flows: *flows, Load: *load, Seed: *seed, Repeats: *repeats, Parallel: *parallel, Sched: *sched, Shards: *shards}
+	opts := exp.Options{Flows: *flows, Load: *load, Seed: *seed, Repeats: *repeats, Parallel: *parallel, Sched: *sched, Shards: *shards,
+		// An explicit multi-shard request from the CLI should fail
+		// loudly on topologies that can't partition instead of
+		// silently running monolithic.
+		StrictShards: *shards > 1}
 	if *schemes != "" {
 		opts.Schemes = strings.Split(*schemes, ",")
 	}
@@ -141,16 +146,22 @@ func main() {
 			fmt.Printf("%-8s %s\n", e.ID, e.Title)
 		}
 	case *benchjson != "":
-		if err := writeBenchJSON(*benchjson, opts); err != nil {
+		if err := writeBenchJSON(*benchjson, *benchfilter, opts); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 	case *all:
+		ok := true
 		for _, e := range exp.List() {
-			run(e.ID, opts)
+			ok = run(e.ID, opts) && ok
+		}
+		if !ok {
+			os.Exit(1)
 		}
 	case *id != "":
-		run(*id, opts)
+		if !run(*id, opts) {
+			os.Exit(1)
+		}
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -167,7 +178,10 @@ const (
 
 var format outputFormat
 
-func run(id string, opts exp.Options) {
+// run executes one experiment and prints it. It returns false when
+// every cell failed (e.g. a strict -shards request on a topology that
+// cannot partition), after echoing the per-cell errors to stderr.
+func run(id string, opts exp.Options) bool {
 	start := time.Now()
 	res, err := exp.RunByID(id, opts)
 	if err != nil {
@@ -178,6 +192,25 @@ func run(id string, opts exp.Options) {
 		if row.Sum.Truncated {
 			fmt.Fprintf(os.Stderr, "warning: %s/%s hit its event/deadline bound with %d flows unfinished; FCT stats are biased toward fast flows\n",
 				id, row.Label, row.Sum.Unfinished)
+		}
+	}
+	failed, produced := 0, false
+	for _, n := range res.Notes {
+		if strings.HasPrefix(n, "cell failed: ") {
+			failed++
+		}
+	}
+	for _, row := range res.Rows {
+		if row.Sum.Flows > 0 || len(row.Extra) > 0 {
+			produced = true
+		}
+	}
+	allFailed := failed > 0 && !produced && len(res.Rows) > 0
+	if allFailed {
+		for _, n := range res.Notes {
+			if strings.HasPrefix(n, "cell failed: ") {
+				fmt.Fprintf(os.Stderr, "pptsim: %s: %s\n", id, n)
+			}
 		}
 	}
 	switch format {
@@ -194,4 +227,5 @@ func run(id string, opts exp.Options) {
 		fmt.Print(res.Render())
 		fmt.Printf("(%s in %.1fs)\n\n", id, time.Since(start).Seconds())
 	}
+	return !allFailed
 }

@@ -17,6 +17,20 @@ type Entry struct {
 	BytesPerOp   uint64  // heap bytes allocated during the run
 	Events       uint64  // scheduler events executed across all cells
 	EventsPerSec float64 // Events / wall-clock seconds
+
+	// Windowed-engine extras, present only on sharded entries. They
+	// let benchcmp's speedup report say *why* parallelism changed:
+	// rounds are barrier synchronizations; windows run/skipped count
+	// per-shard window executions vs idle skips; barrier-frac is the
+	// share of engine wall-clock spent at barriers; busy-min/max-frac
+	// bound the per-shard busy fractions (spread = load imbalance).
+	Rounds         uint64  `json:",omitempty"`
+	WindowsRun     uint64  `json:",omitempty"`
+	WindowsSkipped uint64  `json:",omitempty"`
+	CrossPackets   uint64  `json:",omitempty"`
+	BarrierFrac    float64 `json:",omitempty"`
+	BusyMinFrac    float64 `json:",omitempty"`
+	BusyMaxFrac    float64 `json:",omitempty"`
 }
 
 // File is a full BENCH_<date>.json: machine identification plus one

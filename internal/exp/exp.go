@@ -10,10 +10,12 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 	"sync/atomic"
 
 	"ppt/internal/sim"
 	"ppt/internal/stats"
+	"ppt/internal/transport"
 )
 
 // Options scale and filter an experiment run.
@@ -60,6 +62,12 @@ type Options struct {
 	// golden test); the knob exists so million-flow workloads cost one
 	// flow of memory, not the trace.
 	Stream bool
+	// StrictShards makes a Shards > 1 request on a fabric that cannot
+	// partition (single-switch star/dumbbell topologies) fail the cell
+	// with a clear error instead of silently running monolithic. The
+	// CLI sets it for explicit -shards requests; the API default stays
+	// permissive so experiment matrices can sweep Shards uniformly.
+	StrictShards bool
 
 	// errs accumulates failed cells; RunByID surfaces them as notes.
 	errs *errSink
@@ -67,6 +75,28 @@ type Options struct {
 	// (atomically — cells run on worker goroutines); RunByID surfaces the
 	// total as Result.Events for throughput (events/sec) reporting.
 	events *uint64
+	// sharding accumulates windowed-engine instrumentation across every
+	// sharded cell; RunByID surfaces the sum as Result.Sharding.
+	sharding *shardAgg
+}
+
+// shardAgg folds per-cell ShardStats under a lock (cells run on worker
+// goroutines).
+type shardAgg struct {
+	mu sync.Mutex
+	st *transport.ShardStats
+}
+
+func (a *shardAgg) add(st *transport.ShardStats) {
+	if a == nil || st == nil {
+		return
+	}
+	a.mu.Lock()
+	if a.st == nil {
+		a.st = &transport.ShardStats{}
+	}
+	a.st.Merge(st)
+	a.mu.Unlock()
 }
 
 func (o Options) withDefaults(defFlows int) Options {
@@ -87,6 +117,9 @@ func (o Options) withDefaults(defFlows int) Options {
 	}
 	if o.events == nil {
 		o.events = new(uint64)
+	}
+	if o.sharding == nil {
+		o.sharding = &shardAgg{}
 	}
 	return o
 }
@@ -143,6 +176,12 @@ type Result struct {
 	// denominator for events/sec benchmarking. Deliberately excluded
 	// from Render/CSV so golden outputs stay engine-agnostic.
 	Events uint64 `json:",omitempty"`
+
+	// Sharding is the windowed engine's instrumentation summed over
+	// every sharded cell (nil when no cell ran windowed). Like Events
+	// it is JSON-only — excluded from Render/CSV so golden outputs stay
+	// engine-agnostic.
+	Sharding *transport.ShardStats `json:",omitempty"`
 }
 
 // CSV renders the result rows as comma-separated values (times in
@@ -318,5 +357,6 @@ func RunByID(id string, o Options) (*Result, error) {
 		res.Notes = append(res.Notes, "cell failed: "+msg)
 	}
 	res.Events = atomic.LoadUint64(o.events)
+	res.Sharding = o.sharding.st
 	return res, nil
 }

@@ -41,13 +41,14 @@ func runScale1M(o Options) *Result {
 		load = o.Load
 	}
 	// Spill mode gives up the raw record log, which the windowed
-	// engine's canonical merge needs; with a >1 worker request the cells
-	// run windowed with an in-memory collector instead (1M records ≈
-	// 32MB — bounded workload memory still holds via streaming).
-	spill := 0
-	if o.Shards <= 1 {
-		spill = scale1MSpillChunk
-	}
+	// engine's canonical merge needs, so spilling cells always run the
+	// monolithic engine (execute() enforces that) — but spill stays on
+	// at every -shards setting: multi-core parallelism for this
+	// experiment comes from running repeats (independent seeds) and
+	// schemes concurrently on the worker pool, each cell with its own
+	// bounded collector and unlinked temp file, not from sharding
+	// inside a cell.
+	spill := scale1MSpillChunk
 	all := baseSchemes()
 	p := newPool(o)
 	type schemeCells struct {
@@ -104,7 +105,7 @@ func runScale1M(o Options) *Result {
 	return &Result{ID: "scale1M", Title: "streamed + spilled scale run, memcached W1",
 		Rows: rows,
 		Notes: []string{
-			fmt.Sprintf("workload streamed per-flow; FCT collector spill chunk = %d records (0 = windowed in-memory)", spill),
+			fmt.Sprintf("workload streamed per-flow; FCT collector spill chunk = %d records (cells monolithic; repeats/schemes parallelize on the pool)", spill),
 			"resident_peak counts FCT records ever resident at once; spilled_records went to the unlinked temp file",
 		}}
 }

@@ -1,0 +1,140 @@
+package exp
+
+import (
+	"math/rand"
+	"testing"
+
+	"ppt/internal/sim"
+	"ppt/internal/workload"
+)
+
+// TestLookaheadMatrixDifferential is the randomized-shape companion to
+// TestShardedDifferential: where that test fixes the fabric and sweeps
+// schemes, this one sweeps the *topology* — random leaf-spine shapes,
+// so the per-pair lookahead matrix (leaf↔spine at one wire delay,
+// leaf↔leaf and the self-cycles at two) and the load-balanced worker
+// assignment differ every trial — and asserts the windowed output is
+// byte-identical at every shard count and queue implementation. It
+// also cross-checks the built matrix against an independent
+// brute-force bound: every entry must not exceed the true minimum path
+// delay over the wires the builder installs (the conservative
+// direction; topo's own tests pin exact equality).
+func TestLookaheadMatrixDifferential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs many randomized simulation cells")
+	}
+	rng := rand.New(rand.NewSource(1729))
+	all := baseSchemes()
+	schemes := []string{"ppt", "dctcp"}
+	dists := []*workload.Dist{workload.WebSearch, workload.MemcachedW1}
+
+	trials := 5
+	if raceEnabled {
+		trials = 2
+	}
+	for trial := 0; trial < trials; trial++ {
+		leaves, spines, perLeaf := 2+rng.Intn(3), 1+rng.Intn(3), 3+rng.Intn(5)
+		fab := simFabric(leaves, spines, perLeaf)
+		spec := runSpec{
+			fab:     fab,
+			sc:      all[schemes[rng.Intn(len(schemes))]],
+			dist:    dists[rng.Intn(len(dists))],
+			pattern: workload.AllToAll{N: fab.hosts},
+			load:    0.3 + 0.1*float64(rng.Intn(4)),
+			flows:   120 + rng.Intn(180),
+			seed:    1 + rng.Int63n(1000),
+		}
+
+		base := spec
+		base.shards = 1
+		base.sched = sim.Wheel
+		baseSum, baseEnv := execute(base)
+		part := baseEnv.Net.Part
+		if part == nil || part.Lookahead == nil {
+			t.Fatalf("trial %d: partitioned build carries no lookahead matrix", trial)
+		}
+		// Conservative bound: adjacent shards one delay apart, nothing
+		// closer than the global window, diagonal bounded by the round
+		// trip through a spine.
+		n := leaves + spines
+		w := part.Window
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				at := part.Lookahead.At(i, j)
+				if at < w {
+					t.Fatalf("trial %d: matrix entry (%d,%d)=%v below global window %v", trial, i, j, at, w)
+				}
+				iLeaf, jLeaf := i < leaves, j < leaves
+				if iLeaf != jLeaf && at != w {
+					t.Fatalf("trial %d: adjacent pair (%d,%d)=%v, want %v", trial, i, j, at, w)
+				}
+				if iLeaf == jLeaf && at != 2*w {
+					t.Fatalf("trial %d: two-hop pair (%d,%d)=%v, want %v", trial, i, j, at, 2*w)
+				}
+			}
+		}
+
+		// Shard hints beyond the shard count, equal to it, and below it
+		// (exercising multi-shard-per-worker LPT assignments), across
+		// both queue implementations.
+		for _, v := range []struct {
+			shards int
+			sched  sim.Impl
+		}{
+			{2, sim.Wheel},
+			{n, sim.Heap},
+			{n + 3, sim.Wheel},
+			{1, sim.Heap},
+		} {
+			alt := spec
+			alt.shards = v.shards
+			alt.sched = v.sched
+			altSum, altEnv := execute(alt)
+			if baseSum != altSum {
+				t.Errorf("trial %d (leaves=%d spines=%d perLeaf=%d %s flows=%d seed=%d): shards=%d sched=%v summary diverged\nbase: %+v\nalt:  %+v",
+					trial, leaves, spines, perLeaf, spec.sc.name, spec.flows, spec.seed, v.shards, v.sched, baseSum, altSum)
+			}
+			if baseEnv.Eff != altEnv.Eff {
+				t.Errorf("trial %d (leaves=%d spines=%d perLeaf=%d %s flows=%d seed=%d): shards=%d sched=%v efficiency diverged\nbase: %+v\nalt:  %+v",
+					trial, leaves, spines, perLeaf, spec.sc.name, spec.flows, spec.seed, v.shards, v.sched, baseEnv.Eff, altEnv.Eff)
+			}
+			if altEnv.ShardStats == nil || altEnv.ShardStats.Rounds == 0 {
+				t.Errorf("trial %d: shards=%d run recorded no windowed instrumentation", trial, v.shards)
+			}
+		}
+	}
+}
+
+// TestSpilledRepeatsParallel pins the lifted "spill forces serial"
+// restriction: repeats across seeds run concurrently on the worker
+// pool even when every cell spills its FCT log, and the result is
+// byte-identical to the serial run. Cells themselves stay monolithic
+// (spill mode has no canonical merge), which execute() enforces
+// regardless of the shard hint.
+func TestSpilledRepeatsParallel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs four 70k-flow spilled cells")
+	}
+	base := Options{Flows: scale1MSpillChunk + 5_000, Repeats: 2, Parallel: 1,
+		Schemes: []string{"ppt"}}
+	serial, err := RunByID("scale1M", base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide := base
+	wide.Parallel = 2
+	wide.Shards = 4 // must not disable spill, must stay monolithic
+	parallel, err := RunByID("scale1M", wide)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := parallel.Render(), serial.Render(); got != want {
+		t.Fatalf("parallel spilled repeats diverged from serial:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+	if len(serial.Rows) != 1 || serial.Rows[0].Extra["spilled_records"] == 0 {
+		t.Fatalf("spill did not engage: %+v", serial.Rows)
+	}
+	if parallel.Sharding != nil {
+		t.Fatalf("spilled cells must stay monolithic, but windowed instrumentation was recorded: %+v", parallel.Sharding)
+	}
+}

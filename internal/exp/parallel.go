@@ -97,12 +97,22 @@ func (p *pool) submitSpec(label string, spec runSpec) *cellOut {
 		spec.stream = true
 	}
 	events := p.opts.events
+	sharding := p.opts.sharding
 	out.job = p.submit(label, func() {
 		out.sum, out.env = execute(spec)
 		if events != nil {
 			atomic.AddUint64(events, out.env.Net.Executed())
 		}
+		sharding.add(out.env.ShardStats)
 	})
+	if p.opts.StrictShards && p.opts.Shards > 1 && !spec.fab.partitionable {
+		// Fail the cell up front with an error naming the topology:
+		// a single-switch fabric would otherwise silently ignore the
+		// shard request and run monolithic.
+		out.job.err = fmt.Errorf(
+			"topology %q does not partition: -shards %d needs a multi-switch fabric (topo.LeafSpine partitions; topo.Star and topo.Dumbbell are single-switch)",
+			spec.fab.name, p.opts.Shards)
+	}
 	return out
 }
 
@@ -172,6 +182,11 @@ func (p *pool) run() {
 }
 
 func (j *poolJob) runOne() {
+	if j.err != nil {
+		// Pre-failed at submission (e.g. a strict-shards topology
+		// mismatch): keep the error, skip the work.
+		return
+	}
 	defer func() {
 		if r := recover(); r != nil {
 			j.err = fmt.Errorf("panic: %v", r)

@@ -31,6 +31,11 @@ type fabric struct {
 	cfg    topo.Config
 	rtoMin sim.Time
 	hosts  int
+	// partitionable marks builders that honor Config.Shards with a real
+	// multi-switch partition (topo.LeafSpine). Single-switch builders
+	// (topo.Star, topo.Dumbbell) have nothing to shard and silently run
+	// monolithic; Options.StrictShards turns that into a cell error.
+	partitionable bool
 }
 
 // simFabric is the §6.2 profile: 144 hosts, 9 leaves, 4 spines, 40/100G
@@ -50,8 +55,9 @@ func simFabric(leaves, spines, perLeaf int) fabric {
 			ECNHighK:      96_000,
 			ECNLowK:       86_000,
 		},
-		rtoMin: 1 * sim.Millisecond,
-		hosts:  leaves * perLeaf,
+		rtoMin:        1 * sim.Millisecond,
+		hosts:         leaves * perLeaf,
+		partitionable: true,
 	}
 }
 

@@ -65,6 +65,12 @@ type Inbox struct {
 	armedAt sim.Time
 	dirty   bool
 	fireFn  func()
+	// sorted is the length of the already-canonical prefix of pending
+	// when a barrier merge begins (everything outside MergeWindows is
+	// fully sorted, so this is just len(pending) at first append);
+	// scratch is the reusable suffix buffer of the batched merge.
+	sorted  int
+	scratch []CrossEntry
 }
 
 // NewInbox returns an inbox delivering into the given shard scheduler.
@@ -99,15 +105,29 @@ func (in *Inbox) fire() {
 // restores each touched inbox's canonical (At, Src, Seq) order, and
 // (re-)arms delivery timers. It must run at a window barrier, when
 // every shard's event loop is quiescent; every merged entry's At lies
-// at or beyond the next window start, so arming is never in a shard's
-// past.
-func MergeWindows(outboxes []*Outbox, inboxes []*Inbox) {
+// at or beyond the destination's next horizon, so arming is never in a
+// shard's past. Returns the number of entries moved.
+//
+// The drain is batched: each inbox's pending set is a sorted prefix
+// (everything that survived earlier barriers — the invariant outside
+// this function) plus this barrier's appended suffix. Only the suffix
+// is sorted; when the suffix doesn't already follow the prefix (rare —
+// deposits are usually later than everything still pending) the two
+// runs are merged backward in place through a reused per-inbox scratch
+// buffer. That replaces the old full re-sort per dirty inbox per
+// barrier, which was the dominant barrier cost at high shard counts.
+func MergeWindows(outboxes []*Outbox, inboxes []*Inbox) int {
+	moved := 0
 	for _, o := range outboxes {
+		moved += len(o.entries)
 		for i := range o.entries {
 			e := &o.entries[i]
 			in := inboxes[e.Dst]
+			if !in.dirty {
+				in.dirty = true
+				in.sorted = len(in.pending)
+			}
 			in.pending = append(in.pending, *e)
-			in.dirty = true
 			*e = CrossEntry{}
 		}
 		o.entries = o.entries[:0]
@@ -118,12 +138,36 @@ func MergeWindows(outboxes []*Outbox, inboxes []*Inbox) {
 		}
 		in.dirty = false
 		p := in.pending
-		sortCross(p)
+		suffix := p[in.sorted:]
+		sortCross(suffix)
+		if in.sorted > 0 && crossLess(&suffix[0], &p[in.sorted-1]) {
+			in.mergeRuns()
+		}
 		head := p[0].At
 		if !in.timer.Pending() || head < in.armedAt {
 			in.timer.Stop()
 			in.armedAt = head
 			in.timer = in.sched.At(head, in.fireFn)
+		}
+	}
+	return moved
+}
+
+// mergeRuns merges pending's sorted prefix [0:sorted) and sorted
+// suffix [sorted:] in place, backward, staging the suffix in the
+// reusable scratch buffer (suffix-sized — merges only pay for what the
+// barrier appended, not for the whole pending set).
+func (in *Inbox) mergeRuns() {
+	p := in.pending
+	in.scratch = append(in.scratch[:0], p[in.sorted:]...)
+	i, j := in.sorted-1, len(in.scratch)-1
+	for k := len(p) - 1; j >= 0; k-- {
+		if i >= 0 && crossLess(&in.scratch[j], &p[i]) {
+			p[k] = p[i]
+			i--
+		} else {
+			p[k] = in.scratch[j]
+			j--
 		}
 	}
 }

@@ -75,9 +75,20 @@ type Partition struct {
 	// window: min(Config.Shards, N). Worker count never affects
 	// outcomes — shards only interact at barriers, in canonical order.
 	Workers int
-	// Window is the lock-step window width: the minimum propagation
-	// delay over cross-shard wires, i.e. the conservative lookahead.
+	// Window is the single global lock-step window width: the minimum
+	// propagation delay over cross-shard wires. Kept as the coarse
+	// fallback lookahead; the driver prefers the per-pair matrix below.
 	Window sim.Time
+	// Lookahead is the per-shard-pair lookahead matrix (closed under
+	// min-plus composition); see the Lookahead type. Derived from the
+	// same wires that get SetCross, so the two views always agree.
+	Lookahead *Lookahead
+	// ShardWorker maps each shard to the worker slot that executes its
+	// windows: a deterministic host-count-weighted LPT packing
+	// (assignWorkers) so Workers < N doesn't strand heavy leaf shards
+	// on one goroutine. Purely an execution detail — outcomes are
+	// identical for any assignment.
+	ShardWorker []int
 
 	Scheds   []*sim.Scheduler
 	Pools    []*netsim.PacketPool
@@ -263,6 +274,27 @@ func LeafSpine(leaves, spines, hostsPerLeaf int, cfg Config) *Network {
 			part.Outboxes[i] = netsim.NewOutbox(i)
 			part.Inboxes[i] = netsim.NewInbox(part.Scheds[i])
 		}
+		// Per-pair lookahead: one directed wire per leaf<->spine link at
+		// LinkDelay, closed under min-plus so distant pairs (leaf->leaf
+		// via a spine) get their true 2×LinkDelay bound instead of the
+		// global minimum. Load-balanced worker assignment weights each
+		// leaf shard by its hosts (plus the switch itself) and each
+		// spine shard by the switch alone.
+		la := NewLookahead(n)
+		weights := make([]int, n)
+		for li := 0; li < leaves; li++ {
+			for si := 0; si < spines; si++ {
+				la.AddWire(li, leaves+si, cfg.LinkDelay)
+				la.AddWire(leaves+si, li, cfg.LinkDelay)
+			}
+			weights[li] = hostsPerLeaf + 1
+		}
+		for si := 0; si < spines; si++ {
+			weights[leaves+si] = 1
+		}
+		la.Close()
+		part.Lookahead = la
+		part.ShardWorker = assignWorkers(weights, part.Workers)
 		net.Part = part
 	} else {
 		mono = sim.NewSchedulerImpl(cfg.Sched)

@@ -3,38 +3,137 @@ package transport
 import (
 	"fmt"
 	"sync/atomic"
+	"time"
 
 	"ppt/internal/netsim"
 	"ppt/internal/sim"
 	"ppt/internal/stats"
+	"ppt/internal/topo"
 )
 
 // This file is the conservative time-windowed parallel run driver
-// (YAWNS / bounded-lag; see DESIGN.md §7.3). A partitioned fabric
+// (YAWNS / bounded-lag; see DESIGN.md §7.3/§7.5). A partitioned fabric
 // (topo.Config.Shards >= 1) assigns every device to one of N logical
 // shards, each with its own scheduler, packet pool, and — built here —
 // its own Env (collector, efficiency counters, endpoint pools, flow
-// freelist, release cursor). All shards advance in lock-step windows of
-// width w = min propagation delay over cross-shard wires: a packet
-// transmitted during window k crosses the boundary no earlier than the
-// k+1 barrier, so windows can execute with no intra-window
-// communication at all, and every cross-shard effect is applied at a
-// barrier in a canonical order:
+// freelist, release cursor).
+//
+// Shards advance in rounds bounded by the per-shard-pair lookahead
+// matrix L (topo.Partition.Lookahead): in each round, shard d may
+// execute every event strictly before its horizon
+//
+//	h_d = min over shards s of (eff_s + L[s][d])
+//
+// where eff_s is a lower bound on the next instant shard s could emit
+// anything (its earliest pending event, the next unreleased arrival,
+// or its already-executed floor, whichever binds). The min ranges over
+// s = d too: L[d][d] is the minimum cycle delay through another shard,
+// bounding how far d may run before its own transmissions can reflect
+// back. Every cross-shard effect is applied at the round barrier in a
+// canonical order:
 //
 //  1. cross-shard packets, merged per destination shard in
 //     (time, srcShard, seq) order (netsim.MergeWindows);
-//  2. receiver starts for flows released this window whose destination
+//  2. receiver starts for flows released this round whose destination
 //     is another shard, in source-shard index order;
-//  3. sender teardowns for cross-shard flows completed this window, in
+//  3. sender teardowns for cross-shard flows completed this round, in
 //     completing-shard index order;
 //  4. global stop / event-budget / deadline checks.
 //
-// The logical partition is fixed by the topology; Config.Shards only
-// caps how many worker goroutines execute the shards each window.
-// Because shards interact exclusively through the barrier steps above,
-// the worker count is invisible to simulated outcomes: -shards=1, 2 and
-// 4 are byte-identical by construction, and a monolithic run differs
-// from a windowed one only through the documented teardown deferral.
+// The logical partition and the matrix are fixed by the topology;
+// Config.Shards only caps how many worker goroutines execute the
+// shards each round, and the worker assignment (Partition.ShardWorker)
+// is a deterministic load-balanced packing. Because shards interact
+// exclusively through the barrier steps above and every horizon is
+// computed from shard-local state, the worker count is invisible to
+// simulated outcomes: -shards=1, 2 and 4 are byte-identical by
+// construction, and a monolithic run differs from a windowed one only
+// through the documented teardown deferral.
+
+// ShardStats is the windowed engine's per-run instrumentation,
+// surfaced through Env.ShardStats into exp results and -benchjson
+// extras (never into rendered tables or CSV — golden outputs stay
+// engine-agnostic). All counts are execution-side observations; they
+// never feed back into simulated outcomes.
+type ShardStats struct {
+	// Shards and Workers echo the partition shape of the run.
+	Shards  int `json:",omitempty"`
+	Workers int `json:",omitempty"`
+	// Rounds counts barrier synchronizations (window rounds).
+	Rounds uint64 `json:",omitempty"`
+	// WindowsRun / WindowsSkipped count per-shard window executions:
+	// a shard with no event inside its horizon skips the round without
+	// touching its scheduler.
+	WindowsRun     uint64 `json:",omitempty"`
+	WindowsSkipped uint64 `json:",omitempty"`
+	// CrossPackets counts cross-shard entries merged at barriers.
+	CrossPackets uint64 `json:",omitempty"`
+	// RunNs is driver wall-clock spent executing shard windows;
+	// BarrierNs is driver wall-clock spent in barrier work (merge,
+	// receiver starts, teardowns, stop checks). Their ratio is the
+	// engine's synchronization overhead.
+	RunNs     int64 `json:",omitempty"`
+	BarrierNs int64 `json:",omitempty"`
+	// BusyNs[i] is wall-clock spent inside shard i's RunUntil, summed
+	// over rounds. BusyNs[i] / RunNs is shard i's busy fraction; the
+	// spread across shards shows load imbalance.
+	BusyNs []int64 `json:",omitempty"`
+}
+
+// Merge folds another run's counters into s (element-wise for BusyNs,
+// extending as needed). Used by exp to aggregate across cells.
+func (s *ShardStats) Merge(o *ShardStats) {
+	if o == nil {
+		return
+	}
+	if o.Shards > s.Shards {
+		s.Shards = o.Shards
+	}
+	if o.Workers > s.Workers {
+		s.Workers = o.Workers
+	}
+	s.Rounds += o.Rounds
+	s.WindowsRun += o.WindowsRun
+	s.WindowsSkipped += o.WindowsSkipped
+	s.CrossPackets += o.CrossPackets
+	s.RunNs += o.RunNs
+	s.BarrierNs += o.BarrierNs
+	for len(s.BusyNs) < len(o.BusyNs) {
+		s.BusyNs = append(s.BusyNs, 0)
+	}
+	for i, v := range o.BusyNs {
+		s.BusyNs[i] += v
+	}
+}
+
+// BarrierFrac is the fraction of engine wall-clock spent at barriers.
+func (s *ShardStats) BarrierFrac() float64 {
+	total := s.RunNs + s.BarrierNs
+	if total <= 0 {
+		return 0
+	}
+	return float64(s.BarrierNs) / float64(total)
+}
+
+// BusyFracBounds returns the smallest and largest per-shard busy
+// fraction (shard RunUntil time over window-execution wall-clock).
+func (s *ShardStats) BusyFracBounds() (lo, hi float64) {
+	if s.RunNs <= 0 || len(s.BusyNs) == 0 {
+		return 0, 0
+	}
+	lo = float64(s.BusyNs[0]) / float64(s.RunNs)
+	hi = lo
+	for _, v := range s.BusyNs[1:] {
+		f := float64(v) / float64(s.RunNs)
+		if f < lo {
+			lo = f
+		}
+		if f > hi {
+			hi = f
+		}
+	}
+	return lo, hi
+}
 
 // shardedRun is the shared state of one windowed run.
 type shardedRun struct {
@@ -117,27 +216,49 @@ func (r *shardedRun) applyTeardowns() {
 	}
 }
 
-// crew is the persistent worker pool of one windowed run: worker w owns
-// logical shards {i : i mod workers == w} for the whole run, executing
-// them sequentially each window. Channel handoffs give the
-// happens-before edges that make the barrier a real synchronization
-// point (the race detector checks this under -race golden runs).
+// shardIdle marks a shard with no event inside its horizon this round:
+// the crew skips it entirely (no RunUntil, no clock churn).
+const shardIdle = sim.Time(-1)
+
+// crew is the persistent worker pool of one windowed run. Worker w
+// owns the logical shards Partition.ShardWorker assigns it — a
+// deterministic host-count-weighted packing — for the whole run,
+// executing them sequentially each round. runTo is written by the
+// driver before the start signal and busyNs by the owning worker
+// before the done signal; the channel handoffs give the happens-before
+// edges that make the barrier a real synchronization point (the race
+// detector checks this under -race golden runs).
 type crew struct {
 	scheds []*sim.Scheduler
-	start  []chan sim.Time
+	owned  [][]int // worker -> owned shard indices, ascending
+	runTo  []sim.Time
+	busyNs []int64
+	start  []chan struct{}
 	done   chan struct{}
 }
 
-func startCrew(scheds []*sim.Scheduler, workers int) *crew {
-	c := &crew{scheds: scheds, start: make([]chan sim.Time, workers), done: make(chan struct{}, workers)}
+func startCrew(scheds []*sim.Scheduler, shardWorker []int, workers int, runTo []sim.Time, busyNs []int64) *crew {
+	c := &crew{
+		scheds: scheds,
+		owned:  make([][]int, workers),
+		runTo:  runTo,
+		busyNs: busyNs,
+		start:  make([]chan struct{}, workers),
+		done:   make(chan struct{}, workers),
+	}
+	for i := range scheds {
+		w := i % workers
+		if shardWorker != nil {
+			w = shardWorker[i]
+		}
+		c.owned[w] = append(c.owned[w], i)
+	}
 	for w := range c.start {
-		ch := make(chan sim.Time, 1)
+		ch := make(chan struct{}, 1)
 		c.start[w] = ch
-		go func(w int, ch chan sim.Time) {
-			for deadline := range ch {
-				for i := w; i < len(c.scheds); i += len(c.start) {
-					c.scheds[i].RunUntil(deadline)
-				}
+		go func(w int, ch chan struct{}) {
+			for range ch {
+				c.runShards(w)
 				c.done <- struct{}{}
 			}
 		}(w, ch)
@@ -145,12 +266,16 @@ func startCrew(scheds []*sim.Scheduler, workers int) *crew {
 	return c
 }
 
-func (c *crew) runWindow(deadline sim.Time) {
-	for _, ch := range c.start {
-		ch <- deadline
-	}
-	for range c.start {
-		<-c.done
+// runShards executes worker w's non-idle shards up to their per-shard
+// horizons. Called from the worker goroutine, or from the driver when
+// only one worker has work this round (saving the channel round trip).
+func (c *crew) runShards(w int) {
+	for _, i := range c.owned[w] {
+		if rt := c.runTo[i]; rt != shardIdle {
+			t0 := time.Now()
+			c.scheds[i].RunUntil(rt)
+			c.busyNs[i] += time.Since(t0).Nanoseconds()
+		}
 	}
 }
 
@@ -194,21 +319,35 @@ func (q *shardQueue) push(f SimpleFlow) {
 func (q *shardQueue) pending() int { return len(q.flows) - q.next }
 
 // runShardedSource is RunSource's windowed twin for partitioned
-// fabrics. The single arrival-ordered source is demultiplexed at window
-// barriers: before each window the driver pulls every flow arriving
-// inside it, pushes each onto its source shard's queue, and arms any
-// idle releaser. A flow arriving in window k cannot be released before
-// window k, so feeding at the k-1/k barrier is always in time, and
-// same-timestamp flows keep their source order within a shard (the
-// queue preserves it) and their canonical cross-shard order at
-// barriers (receiver starts apply in source-shard index order, as
-// before).
+// fabrics. The single arrival-ordered source is demultiplexed at round
+// barriers: before each round the driver pulls every flow arriving
+// inside the round's furthest horizon, pushes each onto its source
+// shard's queue, and arms any idle releaser. The one-flow lookahead
+// into the stream (srcNext.Arrive) participates in every shard's eff
+// bound, so horizons never outrun an unreleased arrival: a flow is
+// always fed to its shard at a barrier that precedes its release time.
 func runShardedSource(env *Env, proto ShardableProtocol, src FlowSource, cfg RunConfig) stats.Summary {
 	part := env.Net.Part
 	n := part.N
-	w := part.Window
-	if w <= 0 {
-		panic("transport: partitioned fabric without a positive lookahead window")
+	la := part.Lookahead
+	if la == nil {
+		// Builders that predate the matrix supply only the global
+		// minimum window: synthesize the equivalent complete matrix.
+		if part.Window <= 0 {
+			panic("transport: partitioned fabric without a positive lookahead window")
+		}
+		la = topo.NewLookahead(n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i != j {
+					la.AddWire(i, j, part.Window)
+				}
+			}
+		}
+		la.Close()
+	}
+	if m := la.Min(); m <= 0 && m != sim.MaxTime {
+		panic("transport: partitioned fabric with a non-positive lookahead entry")
 	}
 	_, recycle := Protocol(proto).(FlowRecycler)
 
@@ -301,75 +440,177 @@ func runShardedSource(env *Env, proto ShardableProtocol, src FlowSource, cfg Run
 		// shard event loops; run single-threaded rather than racing it.
 		workers = 1
 	}
+	st := &ShardStats{Shards: n, Workers: workers, BusyNs: make([]int64, n)}
+	floors := make([]sim.Time, n)   // every event < floors[d] is executed
+	effs := make([]sim.Time, n)     // earliest possible next emission per shard
+	horizons := make([]sim.Time, n) // h_d for the current round
+	runTo := make([]sim.Time, n)    // per-shard deadline, shardIdle to skip
+	busyNs := st.BusyNs
 	var workerPool *crew
+	var workerBusy []bool
 	if workers > 1 {
-		workerPool = startCrew(part.Scheds, workers)
+		workerPool = startCrew(part.Scheds, part.ShardWorker, workers, runTo, busyNs)
+		workerBusy = make([]bool, workers)
 		defer workerPool.stop()
 	}
-	// The lock-step window loop. Windows are [k·w, (k+1)·w) for integral
-	// k — absolute multiples of w, so barrier times (and with them the
-	// receiver-start and teardown instants) do not depend on which empty
-	// windows were skipped.
-	for windowEnd := w; ; {
-		runTo := windowEnd - 1
-		if runTo > deadline {
-			runTo = deadline
+	shardWorker := func(i int) int {
+		if part.ShardWorker != nil {
+			return part.ShardWorker[i]
 		}
-		// Feed this window's arrivals before any shard executes it.
-		feed(runTo)
-		if workerPool != nil {
-			workerPool.runWindow(runTo)
-		} else {
-			for _, s := range part.Scheds {
-				s.RunUntil(runTo)
-			}
+		return i % workers
+	}
+
+	// The round loop. Each iteration computes per-shard horizons from
+	// the lookahead matrix, executes every shard (in parallel) up to
+	// its own horizon, then applies cross-shard effects at the barrier.
+	// Horizons are a pure function of shard-local scheduler state and
+	// the stream lookahead, so the loop's entire trajectory — barrier
+	// instants included — is identical for every worker count and both
+	// queue implementations (NextAtBound is exact on each).
+	for {
+		// eff_s: shard s cannot emit anything (packet, release, or
+		// derived event) before this instant. Its earliest pending
+		// event and the next unreleased arrival both bound it from
+		// below; its floor keeps it monotonic when the shard is ahead.
+		srcArr := sim.MaxTime
+		if srcHave {
+			srcArr = srcNext.Arrive
 		}
-		// Barrier: every shard quiescent, driver thread only.
-		netsim.MergeWindows(part.Outboxes, part.Inboxes)
-		run.applyReceiverStarts()
-		run.applyTeardowns()
-		if run.remaining.Load() <= 0 && !srcHave {
-			break
-		}
-		if env.Net.Executed() >= budget {
-			break
-		}
-		if runTo >= deadline {
-			break
-		}
-		// Advance, skipping windows no shard has events in. NextAtBound
-		// is exact for both queue implementations, so the skip lands
-		// directly on the next occupied window; skipped windows are
-		// provably empty and their barriers would be no-ops, so barrier
-		// times stay on the same absolute grid regardless of queue
-		// implementation.
-		next := sim.MaxTime
 		idle := true
-		for _, s := range part.Scheds {
-			if at, ok := s.NextAtBound(); ok {
+		for i, s := range part.Scheds {
+			next := srcArr
+			if at, ok := s.NextAtBound(); ok && at < next {
+				next = at
+			}
+			if next != sim.MaxTime {
 				idle = false
-				if at < next {
-					next = at
+				if f := floors[i]; next < f {
+					next = f
 				}
 			}
-		}
-		if srcHave && srcNext.Arrive < next {
-			// Quiet fabric but the stream has future arrivals: skip to
-			// their window instead of breaking or crawling.
-			next = srcNext.Arrive
-			idle = false
+			effs[i] = next
 		}
 		if idle {
 			// Drained with flows outstanding: a protocol stall; report
 			// truncation below just like the monolithic path.
 			break
 		}
-		if ne := (next/w)*w + w; ne > windowEnd {
-			windowEnd = ne
-		} else {
-			windowEnd += w
+		// h_d = min_s (eff_s + L[s][d]), including s = d via the cycle
+		// entry. Floors keep horizons monotonic; the deadline caps the
+		// executable range but not the floor (a capped shard resumes
+		// from deadline+1 next round, and the loop exits once every
+		// shard has reached the deadline).
+		maxRun := sim.Time(0)
+		minRun := sim.MaxTime
+		for d := 0; d < n; d++ {
+			h := sim.MaxTime
+			for s := 0; s < n; s++ {
+				if v := satAddTime(effs[s], la.At(s, d)); v < h {
+					h = v
+				}
+			}
+			if f := floors[d]; h < f {
+				h = f
+			}
+			horizons[d] = h
+			rt := h - 1
+			if rt > deadline {
+				rt = deadline
+			}
+			runTo[d] = rt
+			if rt > maxRun {
+				maxRun = rt
+			}
+			if rt < minRun {
+				minRun = rt
+			}
+		}
+		// Feed every arrival inside the furthest horizon before any
+		// shard executes; arrivals beyond a shard's own horizon just
+		// sit armed until a later round.
+		feed(maxRun)
+		// A shard with no event inside its horizon skips the round.
+		launched := 0
+		soloWorker := -1
+		if workerBusy != nil {
+			for w := range workerBusy {
+				workerBusy[w] = false
+			}
+		}
+		for i, s := range part.Scheds {
+			at, ok := s.NextAtBound()
+			if !ok || at > runTo[i] {
+				runTo[i] = shardIdle
+				st.WindowsSkipped++
+				continue
+			}
+			st.WindowsRun++
+			if workerBusy != nil {
+				if w := shardWorker(i); !workerBusy[w] {
+					workerBusy[w] = true
+					launched++
+					soloWorker = w
+				}
+			}
+		}
+		t0 := time.Now()
+		switch {
+		case workerPool == nil:
+			for i, s := range part.Scheds {
+				if rt := runTo[i]; rt != shardIdle {
+					s.RunUntil(rt)
+				}
+			}
+		case launched == 1:
+			// One busy worker: run its shards on the driver thread and
+			// skip the channel round trip.
+			workerPool.runShards(soloWorker)
+		default:
+			for w, busy := range workerBusy {
+				if busy {
+					workerPool.start[w] <- struct{}{}
+				}
+			}
+			for i := 0; i < launched; i++ {
+				<-workerPool.done
+			}
+		}
+		t1 := time.Now()
+		// Barrier: every shard quiescent, driver thread only.
+		st.CrossPackets += uint64(netsim.MergeWindows(part.Outboxes, part.Inboxes))
+		run.applyReceiverStarts()
+		run.applyTeardowns()
+		st.Rounds++
+		st.RunNs += t1.Sub(t0).Nanoseconds()
+		st.BarrierNs += time.Since(t1).Nanoseconds()
+		if run.remaining.Load() <= 0 && !srcHave {
+			break
+		}
+		if env.Net.Executed() >= budget {
+			break
+		}
+		if minRun >= deadline {
+			break
+		}
+		for d := 0; d < n; d++ {
+			if h := horizons[d]; h > deadline {
+				floors[d] = deadline + 1
+			} else {
+				floors[d] = h
+			}
 		}
 	}
+	if workerPool == nil {
+		// Serial runs never touch crew timing; approximate per-shard
+		// busy time by the run phase itself so busy fractions stay
+		// meaningful (the engine is the only thing running).
+		for i := range busyNs {
+			if busyNs[i] == 0 {
+				busyNs[i] = st.RunNs / int64(n)
+			}
+		}
+	}
+	env.ShardStats = st
 
 	// Merge per-shard results into the caller's env in canonical order.
 	collectors := make([]*stats.Collector, n)
@@ -404,4 +645,13 @@ func runShardedSource(env *Env, proto ShardableProtocol, src FlowSource, cfg Run
 		sum.Unfinished = left
 	}
 	return sum
+}
+
+// satAddTime adds two times, saturating at sim.MaxTime (an idle shard's
+// eff is MaxTime; adding a lookahead entry must not wrap).
+func satAddTime(a, b sim.Time) sim.Time {
+	if a == sim.MaxTime || b == sim.MaxTime || a > sim.MaxTime-b {
+		return sim.MaxTime
+	}
+	return a + b
 }

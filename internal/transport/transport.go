@@ -62,6 +62,11 @@ type Env struct {
 	// RTOMin floors every retransmission timer.
 	RTOMin sim.Time
 
+	// ShardStats holds the windowed engine's instrumentation after a
+	// sharded run (nil for monolithic runs). Execution-side counters
+	// only — they never influence simulated outcomes.
+	ShardStats *ShardStats
+
 	remaining    int
 	stopWhenDone bool
 	// feeding is true while the run's FlowSource may still yield flows;
