@@ -112,6 +112,7 @@ func main() {
 		"name", "base-ns/op", "fresh-ns/op*", "ns-delta", "allocs/op", "al-delta", "Mev/s")
 
 	nsFailed, allocFailed := 0, 0
+	var eventNotes []string
 	for _, p := range pairs {
 		adj := float64(p.f.NsPerOp) * scale
 		delta := 100 * (adj - float64(p.b.NsPerOp)) / float64(p.b.NsPerOp)
@@ -129,8 +130,23 @@ func main() {
 			mark += "  ALLOC-REGRESSION"
 			allocFailed++
 		}
-		fmt.Printf("%-10s %15d %15.0f %+8.1f%% %14d %+8.1f%% %9.2f%s\n",
-			p.name, p.b.NsPerOp, adj, delta, p.f.AllocsPerOp, allocDelta, p.f.EventsPerSec/1e6, mark)
+		// Events/sec is informational; a run that recorded no events
+		// (old writer, skipped entry) renders as "-" instead of 0.00.
+		mevs := "-"
+		if p.f.Events > 0 && p.f.EventsPerSec > 0 {
+			mevs = fmt.Sprintf("%.2f", p.f.EventsPerSec/1e6)
+		}
+		fmt.Printf("%-10s %15d %15.0f %+8.1f%% %14d %+8.1f%% %9s%s\n",
+			p.name, p.b.NsPerOp, adj, delta, p.f.AllocsPerOp, allocDelta, mevs, mark)
+		if p.b.Events > 0 && p.f.Events > 0 && p.b.Events != p.f.Events {
+			evDelta := 100 * (float64(p.f.Events) - float64(p.b.Events)) / float64(p.b.Events)
+			eventNotes = append(eventNotes, fmt.Sprintf(
+				"events-delta: %s executed %d events vs baseline %d (%+.1f%%) — an engine event-count change (e.g. the fused port pipeline), not a perf regression; the gate compares normalized ns/op and allocs/op only",
+				p.name, p.f.Events, p.b.Events, evDelta))
+		}
+	}
+	for _, n := range eventNotes {
+		fmt.Println(n)
 	}
 	for _, n := range removed {
 		fmt.Printf("%-10s only in baseline (entry removed?)\n", n)
@@ -227,8 +243,8 @@ func shardExtras(e benchfmt.Entry) string {
 	if t := e.WindowsRun + e.WindowsSkipped; t > 0 {
 		skipFrac = float64(e.WindowsSkipped) / float64(t)
 	}
-	return fmt.Sprintf(" [rounds %d, windows skipped %.0f%%, barrier %.0f%%, busy %.0f-%.0f%%]",
-		e.Rounds, 100*skipFrac, 100*e.BarrierFrac, 100*e.BusyMinFrac, 100*e.BusyMaxFrac)
+	return fmt.Sprintf(" [rounds %d, windows skipped %.0f%%, barrier %.0f%%, event share %.0f-%.0f%%]",
+		e.Rounds, 100*skipFrac, 100*e.BarrierFrac, 100*e.EventMinShare, 100*e.EventMaxShare)
 }
 
 // diagnose names the dominant windowed-engine cost of a sharded entry
@@ -242,9 +258,9 @@ func diagnose(e benchfmt.Entry) string {
 		reasons = append(reasons, fmt.Sprintf("barrier-bound (%.0f%% of engine wall-clock at barriers over %d rounds — lookahead too narrow or merge too slow)",
 			100*e.BarrierFrac, e.Rounds))
 	}
-	if spread := e.BusyMaxFrac - e.BusyMinFrac; e.BusyMaxFrac > 0 && spread > 0.4 {
-		reasons = append(reasons, fmt.Sprintf("load-imbalanced (per-shard busy fractions span %.0f%%-%.0f%% — partitioner leaving workers idle)",
-			100*e.BusyMinFrac, 100*e.BusyMaxFrac))
+	if spread := e.EventMaxShare - e.EventMinShare; e.EventMaxShare > 0 && spread > 0.4 {
+		reasons = append(reasons, fmt.Sprintf("load-imbalanced (per-shard event shares span %.0f%%-%.0f%% — partitioner concentrating the work on few shards)",
+			100*e.EventMinShare, 100*e.EventMaxShare))
 	}
 	if t := e.WindowsRun + e.WindowsSkipped; t > 0 {
 		if skip := float64(e.WindowsSkipped) / float64(t); skip > 0.6 {

@@ -84,7 +84,7 @@ func benchOne(name, id string, o exp.Options) (benchfmt.Entry, error) {
 		entry.WindowsSkipped = st.WindowsSkipped
 		entry.CrossPackets = st.CrossPackets
 		entry.BarrierFrac = st.BarrierFrac()
-		entry.BusyMinFrac, entry.BusyMaxFrac = st.BusyFracBounds()
+		entry.EventMinShare, entry.EventMaxShare = st.EventShareBounds()
 	}
 	return entry, nil
 }
@@ -140,7 +140,7 @@ func writeBenchJSON(path, filter string, opts exp.Options) error {
 		if !wanted(e.ID) {
 			continue
 		}
-		o := exp.Options{Flows: flows, Seed: opts.Seed, Parallel: 1, Sched: opts.Sched}
+		o := exp.Options{Flows: flows, Seed: opts.Seed, Parallel: 1, Sched: opts.Sched, NoFastPath: opts.NoFastPath}
 		entry, err := benchOne(e.ID, e.ID, o)
 		if err != nil {
 			return err
@@ -163,7 +163,7 @@ func writeBenchJSON(path, filter string, opts exp.Options) error {
 				continue
 			}
 			o := exp.Options{Flows: sc.flows, Seed: opts.Seed, Parallel: 1, Sched: opts.Sched,
-				Schemes: scaleSchemes, Shards: shards}
+				Schemes: scaleSchemes, Shards: shards, NoFastPath: opts.NoFastPath}
 			entry, err := benchOne(name, "fig12", o)
 			if err != nil {
 				return err
@@ -178,7 +178,7 @@ func writeBenchJSON(path, filter string, opts exp.Options) error {
 			continue
 		}
 		o := exp.Options{Flows: sc.flows, Seed: opts.Seed, Parallel: 1, Sched: opts.Sched,
-			Schemes: scaleSchemes}
+			Schemes: scaleSchemes, NoFastPath: opts.NoFastPath}
 		entry, err := benchOne(sc.name, "scale1M", o)
 		if err != nil {
 			return err

@@ -22,15 +22,18 @@ type Entry struct {
 	// let benchcmp's speedup report say *why* parallelism changed:
 	// rounds are barrier synchronizations; windows run/skipped count
 	// per-shard window executions vs idle skips; barrier-frac is the
-	// share of engine wall-clock spent at barriers; busy-min/max-frac
-	// bound the per-shard busy fractions (spread = load imbalance).
+	// share of engine wall-clock spent at barriers; event-min/max-share
+	// bound each shard's share of the executed events (spread = load
+	// imbalance, deterministic on any machine — unlike the wall-clock
+	// busy fractions they replaced, which degenerated to 1/shards on
+	// time-shared CPUs).
 	Rounds         uint64  `json:",omitempty"`
 	WindowsRun     uint64  `json:",omitempty"`
 	WindowsSkipped uint64  `json:",omitempty"`
 	CrossPackets   uint64  `json:",omitempty"`
 	BarrierFrac    float64 `json:",omitempty"`
-	BusyMinFrac    float64 `json:",omitempty"`
-	BusyMaxFrac    float64 `json:",omitempty"`
+	EventMinShare  float64 `json:",omitempty"`
+	EventMaxShare  float64 `json:",omitempty"`
 }
 
 // File is a full BENCH_<date>.json: machine identification plus one

@@ -90,6 +90,7 @@ func (p *pool) submitSpec(label string, spec runSpec) *cellOut {
 	out := &cellOut{}
 	spec.sched = p.opts.schedImpl()
 	spec.shards = p.opts.Shards
+	spec.noFastPath = p.opts.NoFastPath
 	// Force-on only: experiments that always stream (the scale family)
 	// set spec.stream themselves; Options.Stream additionally streams
 	// every other cell.

@@ -209,6 +209,9 @@ type runSpec struct {
 	// the monolithic engine: the windowed engine's canonical merge needs
 	// the raw record log that spill mode gives up.
 	spillChunk int
+	// noFastPath runs every port on the classic two-event pipeline
+	// (from Options.NoFastPath). Byte-identical outcomes either way.
+	noFastPath bool
 }
 
 // streamSource adapts a lazy workload generator into transport's
@@ -240,6 +243,7 @@ func (s *streamSource) Next() (transport.SimpleFlow, bool) {
 func execute(spec runSpec) (stats.Summary, *transport.Env) {
 	cfg := spec.fab.cfg
 	cfg.Sched = spec.sched
+	cfg.NoFastPath = spec.noFastPath
 	if spec.sc.tweak != nil {
 		spec.sc.tweak(&cfg)
 	}

@@ -21,11 +21,22 @@ type Device interface {
 // pool drop (or trim) arrivals once the pool is exhausted, matching the
 // shared-buffer architecture of the Dell S4048 used in the paper's
 // testbed.
+//
+// With the cut-through fast path (see Port), member ports release their
+// bytes lazily: the release is deferred in the port's pend queue and
+// applied by settle() at every observation point — tryReserve, Used —
+// so admission and dynamic-threshold decisions see the same occupancy
+// the eager per-packet release gave them (DESIGN.md §7.6).
 type BufferPool struct {
 	Cap  int64
 	used int64
 	// Drops counts pool-exhaustion losses across all member ports.
 	Drops int64
+	// members are the ports drawing from this pool; settle() flushes
+	// their deferred releases before any occupancy read. All members of
+	// one pool share one scheduler (pools are per-switch), so the
+	// strict now-1 settle bound is well defined.
+	members []*Port
 }
 
 // NewBufferPool returns a pool of the given byte capacity.
@@ -33,10 +44,29 @@ func NewBufferPool(capBytes int64) *BufferPool {
 	return &BufferPool{Cap: capBytes}
 }
 
+// settle applies every member port's deferred transmit accounting that
+// is strictly in the past, so occupancy reads match the eager engine:
+// an old-engine release at finishTx(T) was visible to any event after
+// T, and events at exactly T ordered before finishTx (every admission
+// is delivery-driven, armed one wire delay earlier — before the
+// releasing packet even started serializing whenever Delay > TxTime)
+// saw it unapplied, which is exactly the strict bound.
+func (b *BufferPool) settle() {
+	for _, p := range b.members {
+		if p.pendHead < len(p.pend) {
+			p.SettleTx(p.sched.Now() - 1)
+		}
+	}
+}
+
 // Used reports the bytes currently held.
-func (b *BufferPool) Used() int64 { return b.used }
+func (b *BufferPool) Used() int64 {
+	b.settle()
+	return b.used
+}
 
 func (b *BufferPool) tryReserve(n int64) bool {
+	b.settle()
 	if b.used+n > b.Cap {
 		return false
 	}
@@ -103,6 +133,22 @@ type PortConfig struct {
 	// or gray-failure loss rather than congestion.
 	LossProb float64
 	LossSeed uint64
+
+	// NoFastPath disables the fused cut-through pipeline and keeps the
+	// classic two-event (serialize-complete, propagation-end) chain per
+	// hop. Outcomes are identical either way (the -fastpath=off escape
+	// hatch and A/B baseline); INT-enabled ports always run the classic
+	// path because INTHop samples queue state at tx-complete.
+	NoFastPath bool
+
+	// LegacyPipeline restores the pre-fusion pipeline wholesale:
+	// finishTx arms the delivery and pops the next packet inline, with
+	// no resume events and no startTx-armed delivery. Partitioned
+	// fabrics set it on every port (topo.LeafSpine): the fast path
+	// never engages there, so they skip the deferred-pop bookkeeping
+	// the fused/off A-B needs on monolithic fabrics and keep the old
+	// per-packet event count. Implies NoFastPath.
+	LegacyPipeline bool
 }
 
 // PortStats are the monotonically increasing counters a port maintains;
@@ -135,19 +181,36 @@ type Port struct {
 	bytesQueued [NumPriorities]int64
 	totalQueued int64
 	lowQueued   int64
-	busy        bool
 	lossState   uint64
 
 	// The transmit and delivery callbacks are bound once at construction
 	// so the per-packet hot path schedules them without allocating a
-	// closure. txPkt is the packet currently serializing (at most one);
-	// wire holds packets propagating toward the peer — the delay is one
-	// constant per port, so deliveries are strictly FIFO and the next
-	// onDelivered call always takes the head.
+	// closure. txPkt is the packet currently serializing (at most one,
+	// classic path only); wire holds packets propagating toward the peer
+	// — the delay is one constant per port, so deliveries are strictly
+	// FIFO and the next delivery call always takes the head.
 	txPkt  *Packet
 	onTx   func()
 	wire   pktRing
 	onRecv func()
+
+	// Cut-through fast path (DESIGN.md §7.6). When fast, starting a
+	// packet schedules ONE delivery event at now+TxTime+Delay instead of
+	// the onTx/onRecv pair, and the transmit-side accounting (TxBytes,
+	// pool release, ...) is deferred in pend and applied lazily:
+	// inclusively through the packet's own serialize-complete time by
+	// its delivery event, strictly (now-1) at every observation point.
+	// busyUntil is the serialize-complete cursor of the in-flight fused
+	// packet; a packet queued behind it arms one resume timer at
+	// busyUntil, which pops in exact slow-path (strict priority) order.
+	fast        bool
+	legacy      bool
+	busyUntil   sim.Time
+	resume      sim.Timer
+	onResume    func()
+	onFusedRecv func()
+	pend        []pendTx
+	pendHead    int
 
 	// cross, when set, marks the wire as crossing a shard boundary in a
 	// partitioned fabric: finished transmissions are deposited into the
@@ -160,6 +223,18 @@ type Port struct {
 	Stats PortStats
 }
 
+// pendTx is one deferred fused-transmit accounting record: the counter
+// deltas of a packet whose serialization completes at txDone. Fields
+// are captured at transmit start (never a *Packet — cross-shard
+// deposits hand the packet to another shard's event loop immediately).
+// Entries are appended in strictly increasing txDone order.
+type pendTx struct {
+	txDone sim.Time
+	wire   int32 // WireLen: pool release + TxBytes delta
+	data   int32 // PayloadLen when Kind == Data, else 0
+	fresh  int32 // data excluding retransmissions
+}
+
 // NewPort builds a port; peer is the device at the far end of its wire,
 // pool the (optional) shared buffer it draws from.
 func NewPort(name string, s *sim.Scheduler, cfg PortConfig, peer Device, pool *BufferPool) *Port {
@@ -170,9 +245,20 @@ func NewPort(name string, s *sim.Scheduler, cfg PortConfig, peer Device, pool *B
 		cfg.LowClassStart = 4
 	}
 	p := &Port{name: name, sched: s, cfg: cfg, peer: peer, pool: pool}
+	// busyUntil == now means "the pop at this instant goes through a
+	// same-instant resume event" (see kick); -1 marks a never-used link
+	// so the very first packet starts inline.
+	p.busyUntil = -1
 	p.lossState = cfg.LossSeed*2654435761 + 0x9e3779b97f4a7c15
 	p.onTx = p.finishTx
 	p.onRecv = p.deliver
+	p.legacy = cfg.LegacyPipeline
+	p.fast = !cfg.NoFastPath && !cfg.EnableINT && !p.legacy
+	p.onResume = p.resumeTx
+	p.onFusedRecv = p.deliverFused
+	if pool != nil {
+		pool.members = append(pool.members, p)
+	}
 	return p
 }
 
@@ -181,6 +267,10 @@ func (p *Port) Name() string { return p.name }
 
 // Config returns the port's configuration.
 func (p *Port) Config() PortConfig { return p.cfg }
+
+// Scheduler returns the event scheduler this port runs on. Sharded run
+// drivers use it to settle each port at its own shard's horizon.
+func (p *Port) Scheduler() *sim.Scheduler { return p.sched }
 
 // SetPacketPool attaches the run's packet pool so dropped packets are
 // recycled at the sink instead of leaking to the garbage collector.
@@ -244,7 +334,8 @@ func (p *Port) Enqueue(pkt *Packet) {
 	// Dynamic-threshold admission (optional): under pressure the
 	// scavenger class's share collapses toward zero.
 	if p.cfg.DynamicLowThreshold && p.isLow(prio) {
-		if free := p.freeBuffer(); free >= 0 && p.lowQueued+int64(pkt.WireLen) > free {
+		free := p.freeBuffer()
+		if free >= 0 && p.lowQueued+int64(pkt.WireLen) > free {
 			p.drop(pkt)
 			return
 		}
@@ -362,20 +453,107 @@ func (p *Port) drop(pkt *Packet) {
 }
 
 // kick starts the transmitter if it is idle and a packet is waiting.
+// A serialization in flight is represented by the busyUntil cursor in
+// BOTH modes: a packet that cannot start yet arms one resume timer at
+// busyUntil, and the resume pops in exact strict-priority order. The
+// >= now comparison is deliberate — at the serialize-complete instant
+// itself the pop goes through a same-instant resume event (fresh seq,
+// so it runs after every event already due at this instant) instead of
+// happening inline, which makes the pop's position in the same-instant
+// order a pure function of the physical schedule rather than of which
+// mode armed which bookkeeping event (DESIGN.md §7.6).
 func (p *Port) kick() {
-	if p.busy {
+	if p.legacy {
+		// Pre-fusion behaviour: a busy transmitter just leaves the
+		// packet queued; finishTx pops inline.
+		if p.txPkt == nil {
+			if pkt := p.pop(); pkt != nil {
+				p.startTx(pkt)
+			}
+		}
+		return
+	}
+	if p.resume.Pending() {
+		return
+	}
+	if p.busyUntil >= p.sched.Now() {
+		p.resume = p.sched.At(p.busyUntil, p.onResume)
 		return
 	}
 	pkt := p.pop()
 	if pkt == nil {
 		return
 	}
-	p.busy = true
-	p.txPkt = pkt
-	txTime := p.cfg.Rate.TxTime(int(pkt.WireLen))
-	p.sched.After(txTime, p.onTx)
+	p.startTx(pkt)
 }
 
+// startTx begins serializing pkt on an idle link. Both modes arm the
+// delivery event here, at transmit start (the deterministic arrival
+// tie-break of DESIGN.md §7.6: an arrival's position among same-instant
+// events no longer depends on the mode's event chaining). The classic
+// path additionally arms finishTx at serialize-complete for the
+// transmit-side effects (accounting, INT, wire push / cross deposit);
+// the fast path defers the accounting into pend (settled lazily — see
+// SettleTx) and pushes/deposits immediately, so the delivery is the
+// packet's only event.
+func (p *Port) startTx(pkt *Packet) {
+	now := p.sched.Now()
+	txTime := p.cfg.Rate.TxTime(int(pkt.WireLen))
+	txDone := now + txTime
+	p.busyUntil = txDone
+	if p.legacy {
+		// Pre-fusion chain: finishTx arms the delivery and pops.
+		p.txPkt = pkt
+		p.sched.After(txTime, p.onTx)
+		return
+	}
+	if !p.fast {
+		p.txPkt = pkt
+		p.sched.After(txTime, p.onTx)
+		if p.cross == nil {
+			p.sched.At(txDone+p.cfg.Delay, p.onRecv)
+		}
+	} else {
+		// Settle strictly behind now before appending: every earlier
+		// entry has txDone <= now here (back-to-back starts happen at
+		// the previous packet's serialize-complete), so pend stays O(1).
+		// Cross-shard ports never take this branch (see SetCross).
+		if p.pendHead < len(p.pend) {
+			p.SettleTx(now - 1)
+		}
+		var data, fresh int32
+		if pkt.Kind == Data {
+			data = pkt.PayloadLen
+			if !pkt.Retrans {
+				fresh = pkt.PayloadLen
+			}
+		}
+		p.pend = append(p.pend, pendTx{txDone: txDone, wire: pkt.WireLen, data: data, fresh: fresh})
+		p.wire.push(pkt)
+		p.sched.At(txDone+p.cfg.Delay, p.onFusedRecv)
+	}
+	if p.totalQueued > 0 && !p.resume.Pending() {
+		p.resume = p.sched.At(txDone, p.onResume)
+	}
+}
+
+// resumeTx fires at busyUntil: it pops the next packet in exact
+// strict-priority order, identically in both modes. The queue can have
+// drained meanwhile only through drops; a nil pop simply waits for the
+// next Enqueue's kick.
+func (p *Port) resumeTx() {
+	if pkt := p.pop(); pkt != nil {
+		p.startTx(pkt)
+	}
+}
+
+// finishTx is the classic path's serialize-complete event: transmit
+// accounting, INT append, and handing the packet to its wire (the
+// delivery event was already armed at transmit start). Popping the next
+// packet is not its job in either fused-capable mode — that goes
+// through the resume timer (see kick). Legacy-pipeline ports instead
+// arm the delivery and pop inline here, reproducing the pre-fusion
+// engine exactly.
 func (p *Port) finishTx() {
 	pkt := p.txPkt
 	p.txPkt = nil
@@ -403,10 +581,17 @@ func (p *Port) finishTx() {
 		p.cross.deposit(p.sched.Now()+p.cfg.Delay, pkt, p, p.crossDst)
 	} else {
 		p.wire.push(pkt)
-		p.sched.After(p.cfg.Delay, p.onRecv)
+		if p.legacy {
+			p.sched.At(p.sched.Now()+p.cfg.Delay, p.onRecv)
+		}
 	}
-	p.busy = false
-	p.kick()
+	if p.legacy {
+		// Pre-fusion inline pop, in the old arming order (delivery
+		// first, then the next packet's serialize-complete event).
+		if nxt := p.pop(); nxt != nil {
+			p.startTx(nxt)
+		}
+	}
 }
 
 // deliver hands the oldest in-flight packet to the peer.
@@ -414,12 +599,97 @@ func (p *Port) deliver() {
 	p.peer.Receive(p.wire.pop())
 }
 
+// deliverFused is the fast path's single per-packet event: settle the
+// transmit-side accounting through this packet's own serialize-complete
+// time (now - Delay; pend txDone values are strictly increasing, so
+// that is exactly the prefix ending at this packet's entry — correct
+// even at Delay == 0), then hand the wire head to the peer.
+func (p *Port) deliverFused() {
+	if p.pendHead < len(p.pend) {
+		p.SettleTx(p.sched.Now() - p.cfg.Delay)
+	}
+	p.peer.Receive(p.wire.pop())
+}
+
+// SettleTx applies every deferred fused-transmit accounting entry with
+// txDone <= limit — shared-pool release, TxBytes/TxPackets and the
+// payload counters — plus, at end of run, a classic-mode serialization
+// that completed by limit but whose finishTx event was cut off by a
+// same-instant Stop. Observation points (pool admission, samplers) call
+// it with the strictly-past bound now-1, which reproduces the classic
+// engine's visibility exactly on every pooled fabric (admissions are
+// delivery-driven and armed at least one wire delay back, so at a tied
+// instant the classic finishTx always had the larger seq); the run
+// drivers call it once more at the final executed horizon, inclusively,
+// so both modes count exactly the serializations that physically
+// completed within the run (DESIGN.md §7.6).
+func (p *Port) SettleTx(limit sim.Time) {
+	i := p.pendHead
+	for i < len(p.pend) && p.pend[i].txDone <= limit {
+		e := &p.pend[i]
+		n := int64(e.wire)
+		if p.pool != nil {
+			p.pool.release(n)
+		}
+		p.Stats.TxBytes += n
+		p.Stats.TxPackets++
+		p.Stats.TxDataBytes += int64(e.data)
+		p.Stats.TxFreshBytes += int64(e.fresh)
+		i++
+	}
+	p.pendHead = i
+	if i == len(p.pend) {
+		p.pend = p.pend[:0]
+		p.pendHead = 0
+	} else if i > 32 && 2*i >= len(p.pend) {
+		// Compact once the settled prefix dominates: a port that stays
+		// busy for a long stretch never fully drains pend (each delivery
+		// settles through its own txDone while later packets keep
+		// appending), and without this the slice would grow with every
+		// packet sent — O(run length) memory on a saturated port instead
+		// of O(Delay/TxTime) in-flight entries.
+		n := copy(p.pend, p.pend[i:])
+		p.pend = p.pend[:n]
+		p.pendHead = 0
+	}
+	if p.txPkt != nil && p.busyUntil <= limit {
+		// Classic mode, end of run only: the serialization finished at
+		// busyUntil <= limit but Stop cut off its finishTx event.
+		// During a run this is unreachable: observers pass limit < now
+		// and a pending finishTx implies busyUntil >= now.
+		pkt := p.txPkt
+		p.txPkt = nil
+		n := int64(pkt.WireLen)
+		if p.pool != nil {
+			p.pool.release(n)
+		}
+		p.Stats.TxBytes += n
+		p.Stats.TxPackets++
+		if pkt.Kind == Data {
+			p.Stats.TxDataBytes += int64(pkt.PayloadLen)
+			if !pkt.Retrans {
+				p.Stats.TxFreshBytes += int64(pkt.PayloadLen)
+			}
+		}
+	}
+}
+
 // SetCross marks this port's wire as crossing into shard dstShard of a
 // partitioned fabric, routing transmissions through the outbox (see
 // cross.go). Called by topo builders only.
+//
+// Cross-boundary ports always run the classic pipeline: the inbox
+// delivery timer's position among same-instant events depends on which
+// window barrier merged each deposit, so deposits must happen at
+// serialize-complete (finishTx) exactly as in -fastpath=off — a
+// transmit-start deposit can merge one barrier earlier and flip
+// same-instant tie order in the destination shard (DESIGN.md §7.6).
+// The fused win was marginal here anyway: a cross wire has no local
+// delivery event, so classic is already one event per packet.
 func (p *Port) SetCross(o *Outbox, dstShard int) {
 	p.cross = o
 	p.crossDst = int32(dstShard)
+	p.fast = false
 }
 
 // deliverCross hands a cross-shard packet to the peer at its stamped

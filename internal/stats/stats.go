@@ -303,12 +303,18 @@ func SampleUtilization(s *sim.Scheduler, port *netsim.Port, period sim.Time) *Ut
 	us := &UtilSampler{}
 	rate := port.Config().Rate
 	bytesPerPeriod := float64(rate) / 8 * period.Seconds()
+	port.SettleTx(s.Now() - 1) // match the per-tick settle for a mid-run arm
 	last := port.Stats.TxBytes
 	var tick func()
 	tick = func() {
 		if us.stop {
 			return
 		}
+		// The fused port pipeline defers tx accounting; settle every
+		// serialization strictly before this instant so the counter read
+		// matches the classic pipeline's finishTx-driven bookkeeping
+		// (DESIGN.md §7.6).
+		port.SettleTx(s.Now() - 1)
 		cur := port.Stats.TxBytes
 		us.Samples = append(us.Samples, UtilSample{
 			At:   s.Now(),

@@ -74,14 +74,17 @@ type ShardStats struct {
 	// engine's synchronization overhead.
 	RunNs     int64 `json:",omitempty"`
 	BarrierNs int64 `json:",omitempty"`
-	// BusyNs[i] is wall-clock spent inside shard i's RunUntil, summed
-	// over rounds. BusyNs[i] / RunNs is shard i's busy fraction; the
-	// spread across shards shows load imbalance.
-	BusyNs []int64 `json:",omitempty"`
+	// ShardEvents[i] is the number of scheduler events shard i executed
+	// over the run. Event shares (ShardEvents[i] over the total) measure
+	// load imbalance deterministically; wall-clock busy spans were
+	// meaningless on time-shared CPUs (every shard of a 1-CPU container
+	// reported an identical fraction).
+	ShardEvents []uint64 `json:",omitempty"`
 }
 
-// Merge folds another run's counters into s (element-wise for BusyNs,
-// extending as needed). Used by exp to aggregate across cells.
+// Merge folds another run's counters into s (element-wise for
+// ShardEvents, extending as needed). Used by exp to aggregate across
+// cells.
 func (s *ShardStats) Merge(o *ShardStats) {
 	if o == nil {
 		return
@@ -98,11 +101,11 @@ func (s *ShardStats) Merge(o *ShardStats) {
 	s.CrossPackets += o.CrossPackets
 	s.RunNs += o.RunNs
 	s.BarrierNs += o.BarrierNs
-	for len(s.BusyNs) < len(o.BusyNs) {
-		s.BusyNs = append(s.BusyNs, 0)
+	for len(s.ShardEvents) < len(o.ShardEvents) {
+		s.ShardEvents = append(s.ShardEvents, 0)
 	}
-	for i, v := range o.BusyNs {
-		s.BusyNs[i] += v
+	for i, v := range o.ShardEvents {
+		s.ShardEvents[i] += v
 	}
 }
 
@@ -115,16 +118,26 @@ func (s *ShardStats) BarrierFrac() float64 {
 	return float64(s.BarrierNs) / float64(total)
 }
 
-// BusyFracBounds returns the smallest and largest per-shard busy
-// fraction (shard RunUntil time over window-execution wall-clock).
-func (s *ShardStats) BusyFracBounds() (lo, hi float64) {
-	if s.RunNs <= 0 || len(s.BusyNs) == 0 {
+// EventShareBounds returns the smallest and largest per-shard share of
+// executed events. A wide spread means the partition is load-imbalanced
+// (one shard does most of the simulating while the rest idle at
+// barriers); unlike wall-clock spans, shares are deterministic and
+// meaningful on any machine.
+func (s *ShardStats) EventShareBounds() (lo, hi float64) {
+	if len(s.ShardEvents) == 0 {
 		return 0, 0
 	}
-	lo = float64(s.BusyNs[0]) / float64(s.RunNs)
+	var total uint64
+	for _, v := range s.ShardEvents {
+		total += v
+	}
+	if total == 0 {
+		return 0, 0
+	}
+	lo = float64(s.ShardEvents[0]) / float64(total)
 	hi = lo
-	for _, v := range s.BusyNs[1:] {
-		f := float64(v) / float64(s.RunNs)
+	for _, v := range s.ShardEvents[1:] {
+		f := float64(v) / float64(total)
 		if f < lo {
 			lo = f
 		}
@@ -224,25 +237,23 @@ const shardIdle = sim.Time(-1)
 // owns the logical shards Partition.ShardWorker assigns it — a
 // deterministic host-count-weighted packing — for the whole run,
 // executing them sequentially each round. runTo is written by the
-// driver before the start signal and busyNs by the owning worker
-// before the done signal; the channel handoffs give the happens-before
-// edges that make the barrier a real synchronization point (the race
-// detector checks this under -race golden runs).
+// driver before the start signal and shard scheduler state by the
+// owning worker before the done signal; the channel handoffs give the
+// happens-before edges that make the barrier a real synchronization
+// point (the race detector checks this under -race golden runs).
 type crew struct {
 	scheds []*sim.Scheduler
 	owned  [][]int // worker -> owned shard indices, ascending
 	runTo  []sim.Time
-	busyNs []int64
 	start  []chan struct{}
 	done   chan struct{}
 }
 
-func startCrew(scheds []*sim.Scheduler, shardWorker []int, workers int, runTo []sim.Time, busyNs []int64) *crew {
+func startCrew(scheds []*sim.Scheduler, shardWorker []int, workers int, runTo []sim.Time) *crew {
 	c := &crew{
 		scheds: scheds,
 		owned:  make([][]int, workers),
 		runTo:  runTo,
-		busyNs: busyNs,
 		start:  make([]chan struct{}, workers),
 		done:   make(chan struct{}, workers),
 	}
@@ -272,9 +283,7 @@ func startCrew(scheds []*sim.Scheduler, shardWorker []int, workers int, runTo []
 func (c *crew) runShards(w int) {
 	for _, i := range c.owned[w] {
 		if rt := c.runTo[i]; rt != shardIdle {
-			t0 := time.Now()
 			c.scheds[i].RunUntil(rt)
-			c.busyNs[i] += time.Since(t0).Nanoseconds()
 		}
 	}
 }
@@ -424,10 +433,12 @@ func runShardedSource(env *Env, proto ShardableProtocol, src FlowSource, cfg Run
 		cfg.MaxEvents = 2_000_000_000
 	}
 	budget := env.Net.Executed() + cfg.MaxEvents
-	for _, s := range part.Scheds {
+	startExec := make([]uint64, n)
+	for i, s := range part.Scheds {
 		// Per-shard runaway backstop; the canonical budget check happens
 		// at barriers over the summed count.
 		s.Limit = s.Executed + cfg.MaxEvents
+		startExec[i] = s.Executed
 	}
 	deadline := sim.MaxTime
 	if cfg.Deadline != 0 {
@@ -440,16 +451,16 @@ func runShardedSource(env *Env, proto ShardableProtocol, src FlowSource, cfg Run
 		// shard event loops; run single-threaded rather than racing it.
 		workers = 1
 	}
-	st := &ShardStats{Shards: n, Workers: workers, BusyNs: make([]int64, n)}
+	st := &ShardStats{Shards: n, Workers: workers, ShardEvents: make([]uint64, n)}
 	floors := make([]sim.Time, n)   // every event < floors[d] is executed
 	effs := make([]sim.Time, n)     // earliest possible next emission per shard
 	horizons := make([]sim.Time, n) // h_d for the current round
 	runTo := make([]sim.Time, n)    // per-shard deadline, shardIdle to skip
-	busyNs := st.BusyNs
+	settleTo := make([]sim.Time, n) // furthest horizon each shard ever ran to
 	var workerPool *crew
 	var workerBusy []bool
 	if workers > 1 {
-		workerPool = startCrew(part.Scheds, part.ShardWorker, workers, runTo, busyNs)
+		workerPool = startCrew(part.Scheds, part.ShardWorker, workers, runTo)
 		workerBusy = make([]bool, workers)
 		defer workerPool.stop()
 	}
@@ -518,6 +529,9 @@ func runShardedSource(env *Env, proto ShardableProtocol, src FlowSource, cfg Run
 				rt = deadline
 			}
 			runTo[d] = rt
+			if rt > settleTo[d] {
+				settleTo[d] = rt
+			}
 			if rt > maxRun {
 				maxRun = rt
 			}
@@ -600,17 +614,20 @@ func runShardedSource(env *Env, proto ShardableProtocol, src FlowSource, cfg Run
 			}
 		}
 	}
-	if workerPool == nil {
-		// Serial runs never touch crew timing; approximate per-shard
-		// busy time by the run phase itself so busy fractions stay
-		// meaningful (the engine is the only thing running).
-		for i := range busyNs {
-			if busyNs[i] == 0 {
-				busyNs[i] = st.RunNs / int64(n)
-			}
-		}
+	for i, s := range part.Scheds {
+		st.ShardEvents[i] = s.Executed - startExec[i]
 	}
 	env.ShardStats = st
+
+	// Settle deferred fused-path tx accounting (DESIGN.md §7.6): each
+	// shard's ports count every serialization physically complete by the
+	// furthest horizon that shard ever ran to — exactly the set whose
+	// classic finishTx events would have executed.
+	limOf := make(map[*sim.Scheduler]sim.Time, n)
+	for i, s := range part.Scheds {
+		limOf[s] = settleTo[i]
+	}
+	env.Net.SettleTx(func(s *sim.Scheduler) sim.Time { return limOf[s] })
 
 	// Merge per-shard results into the caller's env in canonical order.
 	collectors := make([]*stats.Collector, n)

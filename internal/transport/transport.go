@@ -488,6 +488,19 @@ func RunSource(env *Env, proto Protocol, src FlowSource, cfg RunConfig) stats.Su
 	sched.RunUntil(deadline)
 	env.recycleFlows = false
 	env.feeding = false
+	// Settle the ports' deferred fused-transmit accounting before
+	// reading Tx counters: every serialization that physically completed
+	// within the run counts exactly once, in both pipeline modes
+	// (DESIGN.md §7.6). On a deadline truncation the clock may lag the
+	// deadline — the fused pipeline has no serialize-complete events to
+	// execute — so the settle horizon is the deadline itself (unless the
+	// event budget tripped first, where the executed clock is all either
+	// mode can vouch for).
+	lim := sched.Now()
+	if deadline != sim.MaxTime && env.remaining > 0 && sched.Executed < sched.Limit {
+		lim = deadline
+	}
+	env.Net.SettleTx(func(*sim.Scheduler) sim.Time { return lim })
 	// Account host-NIC payload counters into the efficiency summary.
 	for _, h := range env.Net.Hosts {
 		env.Eff.SentPayload += h.NIC().Stats.TxDataBytes
