@@ -46,6 +46,15 @@ var streamScaleCases = []struct {
 	{"scale1M", 1_000_000},
 }
 
+// webScaleFlows sizes the scale1M-websearch bench pair. It matches the
+// experiment's default and — deliberately — exceeds the experiment's
+// 16Ki-record spill chunk, so the pair measures the windowed spill fold
+// (per-shard logs folding into a spilling collector at barriers), not
+// just the streamed path. ~15k scheduler events per websearch flow make
+// this the entry where sharded workers earn their keep, so the pair
+// also feeds benchcmp's speedup gate with a genuinely spilled cell.
+const webScaleFlows = 20_000
+
 // scaleShardWorkers is the worker cap of the sharded scale entries
 // (scale3k-s4 / scale30k-s4): the same workloads as their serial
 // partners but with up to 4 worker goroutines executing the windowed
@@ -85,6 +94,8 @@ func benchOne(name, id string, o exp.Options) (benchfmt.Entry, error) {
 		entry.CrossPackets = st.CrossPackets
 		entry.BarrierFrac = st.BarrierFrac()
 		entry.EventMinShare, entry.EventMaxShare = st.EventShareBounds()
+		entry.Rebalances = st.Rebalances
+		entry.WorkerSpread = st.WorkerSpread
 	}
 	return entry, nil
 }
@@ -131,10 +142,10 @@ func writeBenchJSON(path, filter string, opts exp.Options) error {
 		Sched:     opts.Sched,
 	}
 	for _, e := range exp.List() {
-		if e.ID == "scale1M" {
-			// Measured by the streamed scale family below at its real
+		if e.ID == "scale1M" || e.ID == "scale1M-websearch" {
+			// Measured by the streamed scale families below at their real
 			// flow counts; a smoke-scale run here would collide with the
-			// scale1M entry name.
+			// entry names.
 			continue
 		}
 		if !wanted(e.ID) {
@@ -186,6 +197,24 @@ func writeBenchJSON(path, filter string, opts exp.Options) error {
 		out.Entries = append(out.Entries, entry)
 		fmt.Fprintf(os.Stderr, "%-12s %12d ns/op %10d allocs/op %8.2f Mevents/s\n",
 			sc.name, entry.NsPerOp, entry.AllocsPerOp, entry.EventsPerSec/1e6)
+	}
+	for _, shards := range []int{1, scaleShardWorkers} {
+		name := "scale1M-websearch"
+		if shards > 1 {
+			name = fmt.Sprintf("scale1M-websearch-s%d", shards)
+		}
+		if !wanted(name) {
+			continue
+		}
+		o := exp.Options{Flows: webScaleFlows, Seed: opts.Seed, Parallel: 1, Sched: opts.Sched,
+			Schemes: scaleSchemes, Shards: shards, NoFastPath: opts.NoFastPath}
+		entry, err := benchOne(name, "scale1M-websearch", o)
+		if err != nil {
+			return err
+		}
+		out.Entries = append(out.Entries, entry)
+		fmt.Fprintf(os.Stderr, "%-20s %12d ns/op %10d allocs/op %8.2f Mevents/s\n",
+			name, entry.NsPerOp, entry.AllocsPerOp, entry.EventsPerSec/1e6)
 	}
 	return out.Write(path)
 }

@@ -7,14 +7,18 @@ import (
 	"ppt/internal/workload"
 )
 
-// The scale1M experiment is the repo's million-flow capability proof:
-// the memcached workload (small messages, ~tens of scheduler events per
-// flow — the only published distribution where 1M flows is tractable on
-// one core) streamed through a lazy FlowSource into a spilling FCT
-// collector, so neither the trace nor the completion log is ever
-// resident. It is not a paper figure; it exists so the scale100k/scale1M
-// bench pair and the CI smoke have a registered experiment to run, and
-// so `pptsim -exp scale1M -flows 1000000` is a one-liner.
+// The scale1M experiments are the repo's million-flow capability proof:
+// a published workload streamed through a lazy FlowSource into a
+// spilling FCT collector, so neither the trace nor the completion log
+// is ever resident. scale1M uses memcached W1 (small messages, ~tens of
+// scheduler events per flow — tractable on one core);
+// scale1M-websearch uses the heavy websearch distribution (~15k
+// scheduler events per flow), the workload that actually needs the
+// sharded engine's multi-core scale-out. Neither is a paper figure;
+// they exist so the scale bench families and the CI smokes have
+// registered experiments to run, and so
+// `pptsim -exp scale1M-websearch -flows 1000000 -shards 4` is a
+// one-liner.
 
 // scale1MSchemes are the two hot pooled transports, matching the
 // existing scale bench family.
@@ -25,30 +29,45 @@ var scale1MSchemes = []string{"ppt", "dctcp"}
 // overflow lives as 8 bytes per small flow in an unlinked temp file.
 const scale1MSpillChunk = 1 << 16
 
+// scale1MWebSpillChunk is the websearch variant's cap. Smaller (16Ki)
+// so the spill path engages even at the reduced default flow count the
+// heavy distribution forces.
+const scale1MWebSpillChunk = 1 << 14
+
 func init() {
 	register(&Experiment{
 		ID:       "scale1M",
 		Title:    "[Scale] streamed Memcached W1 workload, bounded-memory FCT collection (1M-flow capable)",
 		DefFlows: 100_000,
-		Run:      runScale1M,
+		Run: func(o Options) *Result {
+			return runScaleSpill(o, "scale1M", "streamed + spilled scale run, memcached W1",
+				workload.MemcachedW1, scale1MSpillChunk)
+		},
+	})
+	register(&Experiment{
+		ID:       "scale1M-websearch",
+		Title:    "[Scale] streamed websearch workload, bounded-memory FCT collection, sharded-engine scale-out (1M-flow capable)",
+		DefFlows: 20_000, // ~15k events/flow: the default stays minutes, not hours; -flows raises it
+		Run: func(o Options) *Result {
+			return runScaleSpill(o, "scale1M-websearch", "streamed + spilled scale run, websearch",
+				workload.WebSearch, scale1MWebSpillChunk)
+		},
 	})
 }
 
-func runScale1M(o Options) *Result {
+// runScaleSpill is the shared driver of the streamed + spilled scale
+// experiments. Spill composes with the windowed engine: per-shard
+// completion logs fold into the spilling collector at round barriers in
+// canonical order (stats.WindowFold), so `-shards=4` parallelizes
+// inside a cell while staying byte-identical to `-shards=1` — and
+// repeats/schemes still parallelize across cells on the worker pool,
+// each cell with its own bounded collector and unlinked temp file.
+func runScaleSpill(o Options, id, title string, dist *workload.Dist, spill int) *Result {
 	fab := simFabric(3, 2, 8)
 	load := 0.5
 	if o.Load != 0 {
 		load = o.Load
 	}
-	// Spill mode gives up the raw record log, which the windowed
-	// engine's canonical merge needs, so spilling cells always run the
-	// monolithic engine (execute() enforces that) — but spill stays on
-	// at every -shards setting: multi-core parallelism for this
-	// experiment comes from running repeats (independent seeds) and
-	// schemes concurrently on the worker pool, each cell with its own
-	// bounded collector and unlinked temp file, not from sharding
-	// inside a cell.
-	spill := scale1MSpillChunk
 	all := baseSchemes()
 	p := newPool(o)
 	type schemeCells struct {
@@ -65,7 +84,7 @@ func runScale1M(o Options) *Result {
 			outs[rep] = p.submitSpec(
 				fmt.Sprintf("%s flows=%d seed=%d", name, o.Flows, o.Seed+int64(rep)),
 				runSpec{
-					fab: fab, sc: all[name], dist: workload.MemcachedW1,
+					fab: fab, sc: all[name], dist: dist,
 					pattern: workload.AllToAll{N: fab.hosts},
 					load:    load, flows: o.Flows, seed: o.Seed + int64(rep),
 					stream: true, spillChunk: spill,
@@ -102,10 +121,10 @@ func runScale1M(o Options) *Result {
 		}
 		rows = append(rows, row)
 	}
-	return &Result{ID: "scale1M", Title: "streamed + spilled scale run, memcached W1",
+	return &Result{ID: id, Title: title,
 		Rows: rows,
 		Notes: []string{
-			fmt.Sprintf("workload streamed per-flow; FCT collector spill chunk = %d records (cells monolithic; repeats/schemes parallelize on the pool)", spill),
+			fmt.Sprintf("workload streamed per-flow; FCT collector spill chunk = %d records (spill composes with -shards via the windowed fold; repeats/schemes parallelize on the pool)", spill),
 			"resident_peak counts FCT records ever resident at once; spilled_records went to the unlinked temp file",
 		}}
 }

@@ -105,12 +105,13 @@ func TestLookaheadMatrixDifferential(t *testing.T) {
 	}
 }
 
-// TestSpilledRepeatsParallel pins the lifted "spill forces serial"
-// restriction: repeats across seeds run concurrently on the worker
-// pool even when every cell spills its FCT log, and the result is
-// byte-identical to the serial run. Cells themselves stay monolithic
-// (spill mode has no canonical merge), which execute() enforces
-// regardless of the shard hint.
+// TestSpilledRepeatsParallel pins two lifted restrictions at once:
+// repeats across seeds run concurrently on the worker pool even when
+// every cell spills its FCT log, and spilling cells now run the
+// windowed engine — Shards no longer drops to the monolithic path when
+// spill engages. The serial (shards=1) and wide (parallel, shards=4)
+// runs must stay byte-identical, which exercises the windowed spill
+// fold's canonical ordering across worker counts.
 func TestSpilledRepeatsParallel(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs four 70k-flow spilled cells")
@@ -123,7 +124,7 @@ func TestSpilledRepeatsParallel(t *testing.T) {
 	}
 	wide := base
 	wide.Parallel = 2
-	wide.Shards = 4 // must not disable spill, must stay monolithic
+	wide.Shards = 4 // must not disable spill, must run windowed
 	parallel, err := RunByID("scale1M", wide)
 	if err != nil {
 		t.Fatal(err)
@@ -134,7 +135,7 @@ func TestSpilledRepeatsParallel(t *testing.T) {
 	if len(serial.Rows) != 1 || serial.Rows[0].Extra["spilled_records"] == 0 {
 		t.Fatalf("spill did not engage: %+v", serial.Rows)
 	}
-	if parallel.Sharding != nil {
-		t.Fatalf("spilled cells must stay monolithic, but windowed instrumentation was recorded: %+v", parallel.Sharding)
+	if parallel.Sharding == nil || parallel.Sharding.Rounds == 0 {
+		t.Fatalf("spilled cells must run the windowed engine, but no windowed instrumentation was recorded: %+v", parallel.Sharding)
 	}
 }

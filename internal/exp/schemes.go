@@ -205,9 +205,10 @@ type runSpec struct {
 	// experiments). Byte-identical outcomes either way.
 	stream bool
 	// spillChunk, when > 0, bounds the FCT collector to this many
-	// resident records (stats spill mode). It implies stream and forces
-	// the monolithic engine: the windowed engine's canonical merge needs
-	// the raw record log that spill mode gives up.
+	// resident records (stats spill mode). It implies stream and
+	// composes with the windowed engine: per-shard completions fold
+	// into the spilling collector at round barriers in canonical order
+	// (stats.WindowFold), bit-identical to the in-memory merge.
 	spillChunk int
 	// noFastPath runs every port on the classic two-event pipeline
 	// (from Options.NoFastPath). Byte-identical outcomes either way.
@@ -251,7 +252,7 @@ func execute(spec runSpec) (stats.Summary, *transport.Env) {
 	// split start; every maker ignores its env argument, so probing with
 	// nil is safe and the probe doubles as the run's protocol instance.
 	proto := spec.sc.make(nil)
-	if _, ok := proto.(transport.ShardableProtocol); ok && spec.shards >= 1 && spec.spillChunk == 0 {
+	if _, ok := proto.(transport.ShardableProtocol); ok && spec.shards >= 1 {
 		cfg.Shards = spec.shards
 	}
 	net := spec.fab.build(cfg)

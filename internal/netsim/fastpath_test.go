@@ -281,6 +281,51 @@ func TestFastPathCrossPortForcedClassic(t *testing.T) {
 	}
 }
 
+// A saturated fused port never fully drains its deferred-accounting
+// queue — every resume pop appends a new pendTx while at least the
+// in-flight entry stays unsettled — so without the midstream compaction
+// in SettleTx the slice would grow with every packet transmitted. This
+// pins the bound: across thousands of back-to-back packets, the pend
+// queue stays O(settled prefix) (compaction trips once the settled head
+// passes 32 entries and half the slice), never O(packets).
+func TestFastPathPendCompactionUnderSaturation(t *testing.T) {
+	s := sim.NewScheduler()
+	p, k := newTestPort(s, PortConfig{Delay: 1 * sim.Microsecond}, nil)
+	const n = 4096
+	for i := 0; i < n; i++ {
+		p.Enqueue(DataPacket(uint32(i), 0, 1, 0, 1000, 0))
+	}
+	// Sample the queue at every serialize-complete instant for the whole
+	// saturated span; the samples interleave with the resume pops that
+	// append (and settle) entries, catching any between-compaction peak.
+	txTime := (10 * Gbps).TxTime(1064)
+	maxLen := 0
+	for i := 1; i <= n; i++ {
+		s.At(sim.Time(i)*txTime, func() {
+			if len(p.pend) > maxLen {
+				maxLen = len(p.pend)
+			}
+		})
+	}
+	s.Run()
+	if len(k.pkts) != n {
+		t.Fatalf("delivered %d packets, want %d", len(k.pkts), n)
+	}
+	if maxLen == 0 {
+		t.Fatal("pend queue never held an entry; the port did not take the fused path")
+	}
+	// The compaction threshold (settled head > 32 and >= half the slice)
+	// bounds the slice at ~2x the trip point; anything near n means the
+	// compaction regressed.
+	if maxLen > 128 {
+		t.Fatalf("pend queue peaked at %d entries over %d packets; compaction is not holding the O(settled prefix) bound", maxLen, n)
+	}
+	p.SettleTx(s.Now())
+	if len(p.pend) != 0 || p.pendHead != 0 {
+		t.Fatalf("pend not drained after final settle: len=%d head=%d", len(p.pend), p.pendHead)
+	}
+}
+
 // Randomized differential: a deterministic pseudo-random script of mixed
 // sizes, priorities, classes, ECT/droppable flags and arrival times,
 // under ECN + shared pool + selective drop + injected loss at once. The

@@ -92,6 +92,22 @@ func (c *Collector) Count() int {
 	return len(c.records)
 }
 
+// canonLess is the canonical (End, Start, FlowID) record order shared
+// by MergeCanonical and the windowed spill fold (windowfold.go). Flow
+// IDs are unique per run, so it is a strict total order: any sorting
+// procedure produces the same sequence, which is what makes the float
+// accumulation order — and every reported mean, bit for bit —
+// independent of shard count.
+func canonLess(a, b *FCTRecord) bool {
+	if a.End != b.End {
+		return a.End < b.End
+	}
+	if a.Start != b.Start {
+		return a.Start < b.Start
+	}
+	return a.FlowID < b.FlowID
+}
+
 // MergeCanonical appends every record of srcs into c and sorts the
 // combined log by (End, Start, FlowID). The windowed (sharded) run
 // driver merges its per-shard collectors through this: per-shard
@@ -99,10 +115,12 @@ func (c *Collector) Count() int {
 // re-ordered by a total order (flow IDs are unique per run) to make
 // Summarize's float accumulation sequence — and therefore every
 // reported mean, bit for bit — independent of shard count. Monolithic
-// runs never call this and keep their historical completion order.
+// runs never call this and keep their historical completion order;
+// spilling masters fold incrementally through WindowFold instead, which
+// feeds the same canonical sequence under a bounded-memory cap.
 func (c *Collector) MergeCanonical(srcs ...*Collector) {
 	if c.sp != nil {
-		panic("stats: MergeCanonical on a spilling collector (spill mode is monolithic-only)")
+		panic("stats: MergeCanonical on a spilling collector (use WindowFold for windowed spill runs)")
 	}
 	for _, s := range srcs {
 		if s.sp != nil {
@@ -118,15 +136,7 @@ func (c *Collector) MergeCanonical(srcs ...*Collector) {
 		c.records = append(c.records, s.records...)
 	}
 	r := c.records
-	sort.Slice(r, func(i, j int) bool {
-		if r[i].End != r[j].End {
-			return r[i].End < r[j].End
-		}
-		if r[i].Start != r[j].Start {
-			return r[i].Start < r[j].Start
-		}
-		return r[i].FlowID < r[j].FlowID
-	})
+	sort.Slice(r, func(i, j int) bool { return canonLess(&r[i], &r[j]) })
 }
 
 // Records returns the raw completions. Unavailable in spill mode: the

@@ -152,14 +152,14 @@ func TestAssignWorkers(t *testing.T) {
 	for trial := 0; trial < 200; trial++ {
 		n := 1 + rng.Intn(16)
 		workers := 1 + rng.Intn(8)
-		weights := make([]int, n)
-		total := 0
+		weights := make([]uint64, n)
+		total := uint64(0)
 		for i := range weights {
-			weights[i] = 1 + rng.Intn(20)
+			weights[i] = uint64(1 + rng.Intn(20))
 			total += weights[i]
 		}
-		a := assignWorkers(weights, workers)
-		b := assignWorkers(weights, workers)
+		a := AssignWorkers(weights, workers)
+		b := AssignWorkers(weights, workers)
 		if len(a) != n {
 			t.Fatalf("assignment length %d, want %d", len(a), n)
 		}
@@ -167,10 +167,10 @@ func TestAssignWorkers(t *testing.T) {
 		if eff > n {
 			eff = n
 		}
-		load := make([]int, eff)
+		load := make([]uint64, eff)
 		for i, w := range a {
 			if w != b[i] {
-				t.Fatal("assignWorkers is not deterministic")
+				t.Fatal("AssignWorkers is not deterministic")
 			}
 			if w < 0 || w >= eff {
 				t.Fatalf("shard %d assigned out-of-range worker %d", i, w)
@@ -178,7 +178,7 @@ func TestAssignWorkers(t *testing.T) {
 			load[w] += weights[i]
 		}
 		// LPT guarantee: max load <= avg + max single weight.
-		maxLoad, maxW := 0, 0
+		maxLoad, maxW := uint64(0), uint64(0)
 		for _, l := range load {
 			if l > maxLoad {
 				maxLoad = l
@@ -189,14 +189,14 @@ func TestAssignWorkers(t *testing.T) {
 				maxW = w
 			}
 		}
-		if bound := total/eff + maxW; maxLoad > bound {
+		if bound := total/uint64(eff) + maxW; maxLoad > bound {
 			t.Fatalf("max worker load %d exceeds LPT bound %d (total %d over %d workers)", maxLoad, bound, total, eff)
 		}
 	}
 	// The leaf-spine case the engine cares about: 4 heavy leaves + 2
 	// light spines over 2 workers must split the leaves evenly instead
 	// of stranding them round-robin.
-	got := assignWorkers([]int{17, 17, 17, 17, 1, 1}, 2)
+	got := AssignWorkers([]uint64{17, 17, 17, 17, 1, 1}, 2)
 	perWorker := [2]int{}
 	for i := 0; i < 4; i++ {
 		perWorker[got[i]]++

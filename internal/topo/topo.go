@@ -322,20 +322,20 @@ func LeafSpine(leaves, spines, hostsPerLeaf int, cfg Config) *Network {
 		// leaf shard by its hosts (plus the switch itself) and each
 		// spine shard by the switch alone.
 		la := NewLookahead(n)
-		weights := make([]int, n)
+		weights := make([]uint64, n)
 		for li := 0; li < leaves; li++ {
 			for si := 0; si < spines; si++ {
 				la.AddWire(li, leaves+si, cfg.LinkDelay)
 				la.AddWire(leaves+si, li, cfg.LinkDelay)
 			}
-			weights[li] = hostsPerLeaf + 1
+			weights[li] = uint64(hostsPerLeaf) + 1
 		}
 		for si := 0; si < spines; si++ {
 			weights[leaves+si] = 1
 		}
 		la.Close()
 		part.Lookahead = la
-		part.ShardWorker = assignWorkers(weights, part.Workers)
+		part.ShardWorker = AssignWorkers(weights, part.Workers)
 		net.Part = part
 	} else {
 		mono = sim.NewSchedulerImpl(cfg.Sched)

@@ -36,19 +36,27 @@ import (
 //     (time, srcShard, seq) order (netsim.MergeWindows);
 //  2. receiver starts for flows released this round whose destination
 //     is another shard, in source-shard index order;
-//  3. sender teardowns for cross-shard flows completed this round, in
-//     completing-shard index order;
+//  3. sender quiesces for cross-shard flows completed this round, in
+//     completing-shard index order: the sender is frozen (srcDone set,
+//     timers stopped) at the barrier, while the expensive
+//     Unbind/Recycle/freelist half of the teardown is deferred to the
+//     sender shard's next granted window and applied there by the
+//     owning worker, off the serial barrier path (DESIGN.md §7.7);
 //  4. global stop / event-budget / deadline checks.
 //
 // The logical partition and the matrix are fixed by the topology;
 // Config.Shards only caps how many worker goroutines execute the
-// shards each round, and the worker assignment (Partition.ShardWorker)
-// is a deterministic load-balanced packing. Because shards interact
-// exclusively through the barrier steps above and every horizon is
-// computed from shard-local state, the worker count is invisible to
-// simulated outcomes: -shards=1, 2 and 4 are byte-identical by
-// construction, and a monolithic run differs from a windowed one only
-// through the documented teardown deferral.
+// shards each round. The worker assignment starts from the
+// deterministic static packing in Partition.ShardWorker and is
+// re-balanced mid-run from measured per-shard executed-event counts
+// (every rebalanceRounds rounds, with hysteresis) — worker placement
+// only decides which goroutine executes a window, so the rebalance is
+// invisible to simulated outcomes. Because shards interact exclusively
+// through the barrier steps above and every horizon is computed from
+// shard-local state, the worker count is invisible to simulated
+// outcomes: -shards=1, 2 and 4 are byte-identical by construction, and
+// a monolithic run differs from a windowed one only through the
+// documented teardown deferral.
 
 // ShardStats is the windowed engine's per-run instrumentation,
 // surfaced through Env.ShardStats into exp results and -benchjson
@@ -80,6 +88,14 @@ type ShardStats struct {
 	// meaningless on time-shared CPUs (every shard of a 1-CPU container
 	// reported an identical fraction).
 	ShardEvents []uint64 `json:",omitempty"`
+	// Rebalances counts adopted event-load-aware worker reassignments
+	// (LPT re-runs that beat the current packing by the hysteresis
+	// margin). Zero for single-worker runs.
+	Rebalances uint64 `json:",omitempty"`
+	// WorkerSpread is the final assignment's per-worker share spread of
+	// executed events: (heaviest − lightest worker) over the total. A
+	// small spread means the packing kept workers evenly fed.
+	WorkerSpread float64 `json:",omitempty"`
 }
 
 // Merge folds another run's counters into s (element-wise for
@@ -106,6 +122,10 @@ func (s *ShardStats) Merge(o *ShardStats) {
 	}
 	for i, v := range o.ShardEvents {
 		s.ShardEvents[i] += v
+	}
+	s.Rebalances += o.Rebalances
+	if o.WorkerSpread > s.WorkerSpread {
+		s.WorkerSpread = o.WorkerSpread
 	}
 }
 
@@ -165,6 +185,12 @@ type shardedRun struct {
 	// tear stages cross-shard sender teardowns, indexed by the
 	// completing (receiver) shard — again a single writer per window.
 	tear [][]*Flow
+	// pendTear holds quiesced senders awaiting the deferred recycle
+	// half of their teardown, indexed by the sender's (source) shard.
+	// Written by the driver at barriers, drained by the worker owning
+	// the shard just before its next window runs — the start/done
+	// channel handoffs order the two.
+	pendTear [][]*Flow
 }
 
 func (r *shardedRun) flowDone() { r.remaining.Add(-1) }
@@ -202,26 +228,38 @@ func (r *shardedRun) applyReceiverStarts() {
 	}
 }
 
-// applyTeardowns unbinds and recycles staged senders in their source
-// shards, marks the flows sender-done, and returns recyclable flows to
-// the source shard's freelist. Runs on the driver thread at a barrier;
-// recycling may stop sender timers, which is safe because the shard is
-// quiescent.
-func (r *shardedRun) applyTeardowns() {
+// quiesceTeardowns freezes every sender staged for teardown this round
+// and regroups the flows per source shard for deferred recycling. Runs
+// on the driver thread at a barrier, iterating completing shards in
+// index order (entries within a slice are in completion order) so each
+// source shard's deferred queue is a deterministic subsequence of the
+// old global application order.
+//
+// Setting srcDone and stopping the sender's timers here is the entire
+// schedule-visible half of a teardown: every sender packet handler and
+// timer callback early-returns on SenderDone, and after StopTimers the
+// shard's pending set matches what a full barrier teardown would have
+// left — so horizons, and with them the whole round trajectory, are
+// bit-identical to applying everything at the barrier. The remaining
+// half (NIC unbind, endpoint recycle, flow freelist) touches only
+// shard-local pools that are read exclusively while the shard
+// executes, so it rides the shard's next granted window instead of the
+// serial barrier path. Senders without the StopTimers hook tear down
+// at the barrier, as before.
+func (r *shardedRun) quiesceTeardowns() {
 	for i := range r.tear {
 		staged := r.tear[i]
 		if len(staged) == 0 {
 			continue
 		}
 		for j, f := range staged {
-			se := r.envs[r.hostShard[f.Src.ID()]]
 			f.srcDone = true
-			src := f.Src.Unbind(f.ID, false)
-			if rec, ok := src.(EndpointRecycler); ok {
-				rec.Recycle(se)
-			}
-			if f.pooled && se.recycleFlows {
-				se.putFlow(f)
+			if q, ok := f.Src.Endpoint(f.ID, false).(SenderQuiescer); ok {
+				q.StopTimers()
+				d := r.hostShard[f.Src.ID()]
+				r.pendTear[d] = append(r.pendTear[d], f)
+			} else {
+				r.recycleSender(f)
 			}
 			staged[j] = nil
 		}
@@ -229,22 +267,56 @@ func (r *shardedRun) applyTeardowns() {
 	}
 }
 
+// recycleSender is the deferred half of a sender teardown: unbind the
+// endpoint from the source NIC, recycle it, and return a recyclable
+// flow to the source shard's freelist.
+func (r *shardedRun) recycleSender(f *Flow) {
+	se := r.envs[r.hostShard[f.Src.ID()]]
+	src := f.Src.Unbind(f.ID, false)
+	if rec, ok := src.(EndpointRecycler); ok {
+		rec.Recycle(se)
+	}
+	if f.pooled && se.recycleFlows {
+		se.putFlow(f)
+	}
+}
+
+// applyTeardowns recycles every quiesced sender of shard d. Called by
+// the worker owning d just before the shard's window runs (or by the
+// driver after the round loop exits, to flush shards that never ran
+// again). Recycled structs land in the pools the shard's own releaser
+// pops while executing, so applying just before RunUntil presents
+// exactly the pool state a barrier-time application would have.
+func (r *shardedRun) applyTeardowns(d int) {
+	staged := r.pendTear[d]
+	for j, f := range staged {
+		r.recycleSender(f)
+		staged[j] = nil
+	}
+	r.pendTear[d] = staged[:0]
+}
+
 // shardIdle marks a shard with no event inside its horizon this round:
 // the crew skips it entirely (no RunUntil, no clock churn).
 const shardIdle = sim.Time(-1)
 
 // crew is the persistent worker pool of one windowed run. Worker w
-// owns the logical shards Partition.ShardWorker assigns it — a
-// deterministic host-count-weighted packing — for the whole run,
-// executing them sequentially each round. runTo is written by the
-// driver before the start signal and shard scheduler state by the
-// owning worker before the done signal; the channel handoffs give the
+// owns a set of logical shards — seeded from Partition.ShardWorker's
+// deterministic host-count-weighted packing, re-packed mid-run by the
+// driver's event-load rebalancer (reassign) — executing them
+// sequentially each round. runTo and owned are written by the driver
+// before the start signal and shard scheduler state by the owning
+// worker before the done signal; the channel handoffs give the
 // happens-before edges that make the barrier a real synchronization
 // point (the race detector checks this under -race golden runs).
 type crew struct {
 	scheds []*sim.Scheduler
 	owned  [][]int // worker -> owned shard indices, ascending
 	runTo  []sim.Time
+	// preRun, when set, runs on the owning worker for each non-idle
+	// shard just before its RunUntil — the deferred teardown hook. Set
+	// once by the driver before the first start signal.
+	preRun func(shard int)
 	start  []chan struct{}
 	done   chan struct{}
 }
@@ -283,8 +355,23 @@ func startCrew(scheds []*sim.Scheduler, shardWorker []int, workers int, runTo []
 func (c *crew) runShards(w int) {
 	for _, i := range c.owned[w] {
 		if rt := c.runTo[i]; rt != shardIdle {
+			if c.preRun != nil {
+				c.preRun(i)
+			}
 			c.scheds[i].RunUntil(rt)
 		}
+	}
+}
+
+// reassign rebuilds the worker→shard ownership from a new shard→worker
+// map. Driver-only, between rounds: every worker is parked on its start
+// channel, and the next start signal publishes the new slices.
+func (c *crew) reassign(shardWorker []int) {
+	for w := range c.owned {
+		c.owned[w] = c.owned[w][:0]
+	}
+	for i, w := range shardWorker {
+		c.owned[w] = append(c.owned[w], i)
 	}
 }
 
@@ -365,6 +452,7 @@ func runShardedSource(env *Env, proto ShardableProtocol, src FlowSource, cfg Run
 		hostShard: part.HostShard,
 		recv:      make([][]*Flow, n),
 		tear:      make([][]*Flow, n),
+		pendTear:  make([][]*Flow, n),
 	}
 	run.envs = make([]*Env, n)
 	for i := range run.envs {
@@ -387,6 +475,20 @@ func runShardedSource(env *Env, proto ShardableProtocol, src FlowSource, cfg Run
 		rel := &releaser{env: run.envs[i], proto: proto, src: queues[i], sharded: run, shard: i}
 		rel.fireFn = rel.fire
 		rels[i] = rel
+	}
+
+	collectors := make([]*stats.Collector, n)
+	for i, se := range run.envs {
+		collectors[i] = se.Collector
+	}
+	// A spilling caller collector folds per-shard completions
+	// incrementally at barriers instead of one MergeCanonical at the
+	// end, keeping resident records bounded by the spill chunk while
+	// staying bit-identical to the in-memory windowed Summary
+	// (stats.WindowFold; DESIGN.md §7.7).
+	var fold *stats.WindowFold
+	if env.Collector.Spilling() {
+		fold = stats.NewWindowFold(env.Collector)
 	}
 
 	// srcNext is the driver's one-flow lookahead into the global stream.
@@ -457,16 +559,41 @@ func runShardedSource(env *Env, proto ShardableProtocol, src FlowSource, cfg Run
 	horizons := make([]sim.Time, n) // h_d for the current round
 	runTo := make([]sim.Time, n)    // per-shard deadline, shardIdle to skip
 	settleTo := make([]sim.Time, n) // furthest horizon each shard ever ran to
+	preTear := func(i int) {
+		if len(run.pendTear[i]) > 0 {
+			run.applyTeardowns(i)
+		}
+	}
 	var workerPool *crew
 	var workerBusy []bool
+	// assign is the live shard→worker map: seeded from the partition's
+	// static host-count packing, re-packed mid-run from measured event
+	// loads. Purely an execution-placement concern — outcomes never see
+	// it.
+	var assign []int
+	var lastExec, loadBuf []uint64
 	if workers > 1 {
 		workerPool = startCrew(part.Scheds, part.ShardWorker, workers, runTo)
+		workerPool.preRun = preTear
 		workerBusy = make([]bool, workers)
 		defer workerPool.stop()
+		assign = make([]int, n)
+		for i := range assign {
+			if part.ShardWorker != nil {
+				assign[i] = part.ShardWorker[i]
+			} else {
+				assign[i] = i % workers
+			}
+		}
+		lastExec = make([]uint64, n)
+		for i, s := range part.Scheds {
+			lastExec[i] = s.Executed
+		}
+		loadBuf = make([]uint64, n)
 	}
 	shardWorker := func(i int) int {
-		if part.ShardWorker != nil {
-			return part.ShardWorker[i]
+		if assign != nil {
+			return assign[i]
 		}
 		return i % workers
 	}
@@ -572,6 +699,7 @@ func runShardedSource(env *Env, proto ShardableProtocol, src FlowSource, cfg Run
 		case workerPool == nil:
 			for i, s := range part.Scheds {
 				if rt := runTo[i]; rt != shardIdle {
+					preTear(i)
 					s.RunUntil(rt)
 				}
 			}
@@ -593,10 +721,50 @@ func runShardedSource(env *Env, proto ShardableProtocol, src FlowSource, cfg Run
 		// Barrier: every shard quiescent, driver thread only.
 		st.CrossPackets += uint64(netsim.MergeWindows(part.Outboxes, part.Inboxes))
 		run.applyReceiverStarts()
-		run.applyTeardowns()
+		run.quiesceTeardowns()
+		for d := 0; d < n; d++ {
+			if h := horizons[d]; h > deadline {
+				floors[d] = deadline + 1
+			} else {
+				floors[d] = h
+			}
+		}
+		if fold != nil {
+			// Everything before the smallest new floor is final: future
+			// completions in shard d happen at or after floors[d].
+			safe := floors[0]
+			for _, f := range floors[1:] {
+				if f < safe {
+					safe = f
+				}
+			}
+			fold.Fold(safe, collectors)
+		}
 		st.Rounds++
 		st.RunNs += t1.Sub(t0).Nanoseconds()
 		st.BarrierNs += time.Since(t1).Nanoseconds()
+		if workerPool != nil && st.Rounds%rebalanceRounds == 0 {
+			// Event-load-aware rebalance: re-run the LPT packing over the
+			// last window of measured per-shard executed events, adopting
+			// it only on a clear win (hysteresis — reassignment churn
+			// costs locality and buys nothing on near-ties).
+			var total uint64
+			for i, s := range part.Scheds {
+				loadBuf[i] = s.Executed - lastExec[i]
+				lastExec[i] = s.Executed
+				total += loadBuf[i]
+			}
+			if total > 0 {
+				prop := topo.AssignWorkers(loadBuf, workers)
+				cur := workerMakespan(assign, loadBuf, workers)
+				alt := workerMakespan(prop, loadBuf, workers)
+				if alt*16 <= cur*15 {
+					copy(assign, prop)
+					workerPool.reassign(assign)
+					st.Rebalances++
+				}
+			}
+		}
 		if run.remaining.Load() <= 0 && !srcHave {
 			break
 		}
@@ -606,16 +774,33 @@ func runShardedSource(env *Env, proto ShardableProtocol, src FlowSource, cfg Run
 		if minRun >= deadline {
 			break
 		}
-		for d := 0; d < n; d++ {
-			if h := horizons[d]; h > deadline {
-				floors[d] = deadline + 1
-			} else {
-				floors[d] = h
-			}
-		}
+	}
+	// Flush teardowns deferred to shards that never ran another window.
+	for d := range run.pendTear {
+		preTear(d)
 	}
 	for i, s := range part.Scheds {
 		st.ShardEvents[i] = s.Executed - startExec[i]
+	}
+	if workerPool != nil {
+		spans := make([]uint64, workers)
+		var total uint64
+		for i, v := range st.ShardEvents {
+			spans[assign[i]] += v
+			total += v
+		}
+		if total > 0 {
+			lo, hi := spans[0], spans[0]
+			for _, v := range spans[1:] {
+				if v < lo {
+					lo = v
+				}
+				if v > hi {
+					hi = v
+				}
+			}
+			st.WorkerSpread = float64(hi-lo) / float64(total)
+		}
 	}
 	env.ShardStats = st
 
@@ -630,16 +815,18 @@ func runShardedSource(env *Env, proto ShardableProtocol, src FlowSource, cfg Run
 	env.Net.SettleTx(func(s *sim.Scheduler) sim.Time { return limOf[s] })
 
 	// Merge per-shard results into the caller's env in canonical order.
-	collectors := make([]*stats.Collector, n)
-	for i, se := range run.envs {
-		collectors[i] = se.Collector
+	for _, se := range run.envs {
 		env.Eff.SentPayload += se.Eff.SentPayload
 		env.Eff.SentLowPayload += se.Eff.SentLowPayload
 		env.Eff.UsefulDelivered += se.Eff.UsefulDelivered
 		env.Eff.UsefulLow += se.Eff.UsefulLow
 		se.run = nil
 	}
-	env.Collector.MergeCanonical(collectors...)
+	if fold != nil {
+		fold.FoldAll(collectors)
+	} else {
+		env.Collector.MergeCanonical(collectors...)
+	}
 	for _, h := range env.Net.Hosts {
 		env.Eff.SentPayload += h.NIC().Stats.TxDataBytes
 	}
@@ -662,6 +849,31 @@ func runShardedSource(env *Env, proto ShardableProtocol, src FlowSource, cfg Run
 		sum.Unfinished = left
 	}
 	return sum
+}
+
+// rebalanceRounds is how many barrier rounds pass between event-load
+// rebalance checks. Large enough that the sampled window smooths
+// transient skew and the LPT + makespan arithmetic amortizes to noise,
+// small enough that a workload phase change (incast burst moving
+// between leaves, a long-flow tail) reaches the packing while it still
+// matters.
+const rebalanceRounds = 1024
+
+// workerMakespan is the heaviest per-worker total of the given
+// per-shard loads under an assignment — the quantity LPT minimizes and
+// the rebalancer's adoption criterion.
+func workerMakespan(assign []int, load []uint64, workers int) uint64 {
+	spans := make([]uint64, workers)
+	for i, w := range assign {
+		spans[w] += load[i]
+	}
+	var max uint64
+	for _, v := range spans {
+		if v > max {
+			max = v
+		}
+	}
+	return max
 }
 
 // satAddTime adds two times, saturating at sim.MaxTime (an idle shard's

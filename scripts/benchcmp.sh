@@ -2,10 +2,11 @@
 # Bench regression gate: compares a fresh per-experiment bench run
 # against the newest checked-in BENCH_*.json and fails when any
 # experiment's ns/op regressed more than 15% (after normalizing away
-# uniform machine-speed differences), any experiment's allocs/op
-# regressed more than 20% (raw — allocation counts are
-# machine-independent), or the scale family's 30k-flow run allocates
-# more than 10x its 3k-flow run (see cmd/benchcmp).
+# uniform machine-speed differences; short entries are additionally
+# shielded by a 500ms absolute noise floor, -min-delta), any
+# experiment's allocs/op regressed more than 20% (raw — allocation
+# counts are machine-independent), or the scale family's 30k-flow run
+# allocates more than 10x its 3k-flow run (see cmd/benchcmp).
 #
 #   scripts/benchcmp.sh                  # run a fresh bench, then gate
 #   scripts/benchcmp.sh bench.json       # gate an already-recorded run
