@@ -101,8 +101,13 @@ func main() {
 			continue
 		}
 		pairs = append(pairs, pair{b.Name, b, f})
-		baseSum += float64(b.NsPerOp)
-		freshSum += float64(f.NsPerOp)
+		// Cache-hit-dominated entries measured replay latency, not the
+		// engine: keeping their near-zero timings in the sums would skew
+		// the machine-speed factor for every honest entry.
+		if !cacheDominated(b) && !cacheDominated(f) {
+			baseSum += float64(b.NsPerOp)
+			freshSum += float64(f.NsPerOp)
+		}
 	}
 	baseBy := base.ByName()
 	for _, f := range fresh.Entries {
@@ -128,6 +133,15 @@ func main() {
 		adj := float64(p.f.NsPerOp) * scale
 		delta := 100 * (adj - float64(p.b.NsPerOp)) / float64(p.b.NsPerOp)
 		mark := ""
+		if cacheDominated(p.f) || cacheDominated(p.b) {
+			// A hit-dominated run measured cache replay, not the engine:
+			// its ns/op is meaningless against (or as) an uncached
+			// baseline, and would drown a real engine regression in an
+			// apparent 100x "improvement". Report, never gate.
+			fmt.Printf("%-10s %15d %15.0f %+8.1f%% %14d %9s %9s  (cache-hit dominated: excluded from ns/op gate)\n",
+				p.name, p.b.NsPerOp, adj, delta, p.f.AllocsPerOp, "-", "-")
+			continue
+		}
 		if delta > *threshold {
 			if abs := adj - float64(p.b.NsPerOp); *minDelta > 0 && abs < *minDelta {
 				// Over the percentage threshold but under the absolute
@@ -248,6 +262,15 @@ func main() {
 	} else {
 		fmt.Println("benchcmp: no regressions beyond thresholds")
 	}
+}
+
+// cacheDominated reports whether an entry's timing mostly measured
+// result-cache replay rather than engine execution: it saw at least one
+// hit and no more misses than hits. An all-miss run through a cold
+// cache still measured the engine (plus a <2% store overhead) and
+// stays in the gate.
+func cacheDominated(e benchfmt.Entry) bool {
+	return e.CacheHits > 0 && e.CacheHits >= e.CacheMisses
 }
 
 // shardExtras renders the windowed-engine instrumentation carried by a

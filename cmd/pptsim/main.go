@@ -27,6 +27,7 @@ import (
 	"strings"
 	"time"
 
+	"ppt/internal/cache"
 	"ppt/internal/exp"
 	"ppt/internal/sim"
 )
@@ -48,6 +49,10 @@ func main() {
 		fastpath = flag.String("fastpath", "on", "cut-through fused port pipeline: on (default) or off (classic two-event pipeline; results are identical, speed is not)")
 		asCSV    = flag.Bool("csv", false, "emit results as CSV instead of tables")
 		asJSON   = flag.Bool("json", false, "emit results as JSON instead of tables")
+
+		cacheDir    = flag.String("cache", "off", "content-addressed result-cache directory, or off; hits replay cell results without simulating (keys exclude -sched/-shards/-parallel/-fastpath — outcomes are engine-invariant)")
+		cacheVerify = flag.Bool("cache-verify", false, "recompute every cache hit and byte-compare against the stored result; any divergence fails the run (determinism tripwire; requires -cache DIR)")
+		cacheMaxMB  = flag.Int("cache-max-mb", 0, "evict least-recently-modified cache entries at startup until the directory fits this many MB (0 = uncapped; requires -cache DIR)")
 
 		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile  = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -78,6 +83,30 @@ func main() {
 	if *fastpath != "on" && *fastpath != "off" {
 		fmt.Fprintf(os.Stderr, "pptsim: invalid -fastpath %q: want on or off\n", *fastpath)
 		os.Exit(2)
+	}
+	cacheOn := *cacheDir != "" && *cacheDir != "off"
+	if *cacheVerify && !cacheOn {
+		fmt.Fprintln(os.Stderr, "pptsim: -cache-verify has nothing to verify without a cache: pass -cache DIR")
+		os.Exit(1)
+	}
+	if *cacheMaxMB < 0 {
+		fmt.Fprintf(os.Stderr, "pptsim: invalid -cache-max-mb %d: want a size in MB (0 = uncapped)\n", *cacheMaxMB)
+		os.Exit(1)
+	}
+	if *cacheMaxMB > 0 && !cacheOn {
+		fmt.Fprintln(os.Stderr, "pptsim: -cache-max-mb has no cache to cap: pass -cache DIR")
+		os.Exit(1)
+	}
+	var resultCache *cache.Cache
+	if cacheOn {
+		c, err := cache.Open(*cacheDir, int64(*cacheMaxMB)<<20)
+		if err != nil {
+			// Typically an unwritable or uncreatable directory — fail in
+			// milliseconds, not after a long cold sweep.
+			fmt.Fprintf(os.Stderr, "pptsim: %v\n", err)
+			os.Exit(1)
+		}
+		resultCache = c
 	}
 
 	if *cpuprofile != "" {
@@ -122,6 +151,7 @@ func main() {
 
 	opts := exp.Options{Flows: *flows, Load: *load, Seed: *seed, Repeats: *repeats, Parallel: *parallel, Sched: *sched, Shards: *shards,
 		NoFastPath: *fastpath == "off",
+		Cache:      resultCache, CacheVerify: *cacheVerify,
 		// An explicit multi-shard request from the CLI should fail
 		// loudly on topologies that can't partition instead of
 		// silently running monolithic.
@@ -130,6 +160,7 @@ func main() {
 		opts.Schemes = strings.Split(*schemes, ",")
 	}
 	if *progress {
+		progressOn = true
 		opts.OnProgress = func(done, total int) {
 			fmt.Fprintf(os.Stderr, "\r%d/%d cells", done, total)
 			if done == total {
@@ -161,11 +192,18 @@ func main() {
 		for _, e := range exp.List() {
 			ok = run(e.ID, opts) && ok
 		}
+		if resultCache != nil {
+			ok = cacheEpilogue(resultCache) && ok
+		}
 		if !ok {
 			os.Exit(1)
 		}
 	case *id != "":
-		if !run(*id, opts) {
+		ok := run(*id, opts)
+		if resultCache != nil {
+			ok = cacheEpilogue(resultCache) && ok
+		}
+		if !ok {
 			os.Exit(1)
 		}
 	default:
@@ -173,6 +211,26 @@ func main() {
 		os.Exit(2)
 	}
 }
+
+// cacheEpilogue reports the whole-process cache accounting (under
+// -progress) and turns any -cache-verify divergence into a failing
+// exit: a mismatch means a stored entry and a fresh execution of the
+// same cell disagree byte-for-byte, i.e. the determinism contract the
+// cache banks on is broken somewhere. That must never pass silently.
+func cacheEpilogue(c *cache.Cache) bool {
+	st := c.Stats()
+	if progressOn {
+		fmt.Fprintf(os.Stderr, "cache: %s\n", st.String())
+	}
+	if st.Mismatches > 0 {
+		fmt.Fprintf(os.Stderr, "pptsim: -cache-verify found %d cell(s) whose stored result diverges from fresh execution\n", st.Mismatches)
+		return false
+	}
+	return true
+}
+
+// progressOn mirrors the -progress flag for helpers outside main.
+var progressOn bool
 
 type outputFormat int
 

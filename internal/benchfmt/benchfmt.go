@@ -38,6 +38,14 @@ type Entry struct {
 	EventMaxShare  float64 `json:",omitempty"`
 	Rebalances     uint64  `json:",omitempty"`
 	WorkerSpread   float64 `json:",omitempty"`
+
+	// Result-cache accounting, present only when -benchjson ran with
+	// -cache. A hit-dominated entry measured replay latency rather than
+	// engine throughput, so benchcmp drops it from the ns/op gate (its
+	// timing would "improve" by whatever factor the cache saved and mask
+	// a real engine regression underneath).
+	CacheHits   uint64 `json:",omitempty"`
+	CacheMisses uint64 `json:",omitempty"`
 }
 
 // File is a full BENCH_<date>.json: machine identification plus one

@@ -1,0 +1,210 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"ppt/internal/cache"
+	"ppt/internal/workload"
+)
+
+func testExpCache(t *testing.T) *cache.Cache {
+	t.Helper()
+	c, err := cache.Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestCacheKeyExcludesEngineKnobs pins the key construction contract:
+// the engine knobs the golden matrix proves outcome-invisible (sched,
+// shards, stream, spill chunk, fast path) MUST NOT reach the cell
+// descriptor, while every outcome-relevant input MUST.
+func TestCacheKeyExcludesEngineKnobs(t *testing.T) {
+	base := runSpec{
+		fab: simFabric(3, 2, 8), sc: baseSchemes()["ppt"],
+		dist: workload.WebSearch, pattern: workload.AllToAll{N: 24},
+		load: 0.5, flows: 100, seed: 3,
+	}
+	baseDesc := specDesc(base)
+
+	// Outcome-invisible: descriptor unchanged.
+	invisible := map[string]func(*runSpec){
+		"sched":      func(s *runSpec) { s.sched = 1 },
+		"shards":     func(s *runSpec) { s.shards = 4 },
+		"stream":     func(s *runSpec) { s.stream = true },
+		"spillChunk": func(s *runSpec) { s.spillChunk = 1 << 14 },
+		"noFastPath": func(s *runSpec) { s.noFastPath = true },
+	}
+	for name, mutate := range invisible {
+		spec := base
+		mutate(&spec)
+		if got := specDesc(spec); got != baseDesc {
+			t.Errorf("engine knob %q leaked into the cell descriptor:\n%s", name, got)
+		}
+	}
+
+	// Outcome-relevant: descriptor must change.
+	relevant := map[string]func(*runSpec){
+		"seed":    func(s *runSpec) { s.seed = 4 },
+		"flows":   func(s *runSpec) { s.flows = 101 },
+		"load":    func(s *runSpec) { s.load = 0.6 },
+		"scheme":  func(s *runSpec) { s.sc = baseSchemes()["dctcp"] },
+		"dist":    func(s *runSpec) { s.dist = workload.DataMining },
+		"pattern": func(s *runSpec) { s.pattern = workload.Incast{N: 3, Target: 0} },
+		"sendBuf": func(s *runSpec) { s.sendBuf = 128 << 10 },
+		"fabric":  func(s *runSpec) { s.fab = fastFabric(3, 2, 8) },
+		"shape":   func(s *runSpec) { s.fab = simFabric(4, 2, 6) }, // same hosts, different wiring
+	}
+	for name, mutate := range relevant {
+		spec := base
+		mutate(&spec)
+		if got := specDesc(spec); got == baseDesc {
+			t.Errorf("outcome-relevant input %q does not reach the cell descriptor", name)
+		}
+	}
+
+	// A scheme whose tweak changes the switch config must differ from
+	// the same name without it (fig24-style parameterized schemes).
+	tweaked := base
+	tweaked.sc = scheme{name: "ppt", tweak: tweakINT, make: base.sc.make}
+	if specDesc(tweaked) == baseDesc {
+		t.Error("scheme tweak (post-tweak switch config) does not reach the descriptor")
+	}
+}
+
+// TestCacheCrossEngineHit is the acceptance criterion: a cell computed
+// at -sched=heap -shards=1 must HIT when replayed at -sched=wheel
+// -shards=4 -stream, with byte-identical rendered output. This is the
+// cache banking the golden matrix's engine-equivalence guarantee.
+func TestCacheCrossEngineHit(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs fig12 twice")
+	}
+	c := testExpCache(t)
+	run := func(sched string, shards, parallel int, stream bool) (*Result, string) {
+		res, err := RunByID("fig12", Options{
+			Flows: 24, Seed: 1, Cache: c,
+			Sched: sched, Shards: shards, Parallel: parallel, Stream: stream,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, res.Render() + "\n--- csv ---\n" + res.CSV()
+	}
+	cold, coldOut := run("heap", 1, 1, false)
+	if cold.Cache == nil || cold.Cache.Misses == 0 || cold.Cache.Hits != 0 {
+		t.Fatalf("cold run cache stats: %+v", cold.Cache)
+	}
+	warm, warmOut := run("wheel", 4, 4, true)
+	if warm.Cache == nil {
+		t.Fatal("warm run reported no cache stats")
+	}
+	if warm.Cache.Misses != 0 || warm.Cache.Hits+warm.Cache.Shared != cold.Cache.Misses {
+		t.Fatalf("cross-engine replay was not a full hit: cold %+v, warm %+v", cold.Cache, warm.Cache)
+	}
+	if coldOut != warmOut {
+		t.Fatalf("cached replay differs from fresh run:\n--- cold ---\n%s\n--- warm ---\n%s", coldOut, warmOut)
+	}
+	if warm.Events != 0 {
+		t.Fatalf("warm run executed %d scheduler events; a full-hit run must simulate nothing", warm.Events)
+	}
+}
+
+// TestCacheReplaysExtras covers the cells whose rows carry extras
+// computed from the environment: on a hit there is no environment, so
+// the extras must replay from the stored value, byte-identically.
+func TestCacheReplaysExtras(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs three experiments twice")
+	}
+	// fig15: ablation extras (low-eff/low-drops/...); fig3: oracle cells
+	// with switch-drops; scale1M: spill extras (resident_peak/spilled).
+	for _, tc := range []struct {
+		id    string
+		flows int
+	}{
+		{"fig15", 20},
+		{"fig3", 12},
+		{"scale1M", 2_000},
+	} {
+		tc := tc
+		t.Run(tc.id, func(t *testing.T) {
+			t.Parallel()
+			c := testExpCache(t)
+			run := func() (*Result, string) {
+				res, err := RunByID(tc.id, Options{Flows: tc.flows, Seed: 1, Cache: c})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res, res.Render() + "\n--- csv ---\n" + res.CSV()
+			}
+			cold, coldOut := run()
+			warm, warmOut := run()
+			if warm.Cache.Misses != 0 || warm.Cache.Hits+warm.Cache.Shared == 0 {
+				t.Fatalf("warm run missed: cold %+v, warm %+v", cold.Cache, warm.Cache)
+			}
+			if coldOut != warmOut {
+				t.Fatalf("replayed extras differ:\n--- cold ---\n%s\n--- warm ---\n%s", coldOut, warmOut)
+			}
+			for _, row := range warm.Rows {
+				if len(row.Extra) == 0 {
+					t.Fatalf("row %q lost its extras on replay", row.Label)
+				}
+			}
+		})
+	}
+}
+
+// TestCacheVerifyMatrix runs a warm cache in verify mode across the
+// engine matrix: every hit recomputes and byte-compares against the
+// stored entry. Any divergence — cross-scheduler, cross-shard-count,
+// cross-worker-count — fails here before it can poison a sweep.
+func TestCacheVerifyMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs fig12 across the engine matrix")
+	}
+	c := testExpCache(t)
+	o := Options{Flows: 24, Seed: 1, Cache: c}
+	if _, err := RunByID("fig12", o); err != nil {
+		t.Fatal(err)
+	}
+	for _, combo := range []struct {
+		sched            string
+		shards, parallel int
+	}{
+		{"heap", 1, 1},
+		{"wheel", 4, 1},
+		{"heap", 4, 4},
+		{"wheel", 2, 4},
+	} {
+		v := o
+		v.Sched, v.Shards, v.Parallel = combo.sched, combo.shards, combo.parallel
+		v.CacheVerify = true
+		res, err := RunByID("fig12", v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Cache.Mismatches != 0 {
+			t.Fatalf("verify mismatch at sched=%s shards=%d parallel=%d: %+v\nnotes: %v",
+				combo.sched, combo.shards, combo.parallel, res.Cache, res.Notes)
+		}
+		if res.Cache.Verified == 0 {
+			t.Fatalf("verify mode did not verify anything at %+v: %+v", combo, res.Cache)
+		}
+		for _, n := range res.Notes {
+			if strings.Contains(n, "cell failed") {
+				t.Fatalf("verify run failed a cell: %v", res.Notes)
+			}
+		}
+	}
+}
+
+// TestCacheVerifyWithoutCacheRejected pins the API-level validation
+// mirrored by the pptsim flag check.
+func TestCacheVerifyWithoutCacheRejected(t *testing.T) {
+	if _, err := RunByID("table2", Options{CacheVerify: true}); err == nil {
+		t.Fatal("CacheVerify without Cache was accepted")
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"ppt/internal/cache"
 	"ppt/internal/sim"
 	"ppt/internal/stats"
 	"ppt/internal/transport"
@@ -73,6 +74,19 @@ type Options struct {
 	// either way (pinned by the fused differential); the knob exists so
 	// regressions can be bisected to the fast path in one rerun.
 	NoFastPath bool
+	// Cache, when non-nil, answers cells content-addressed from the
+	// result cache: each cell's canonical descriptor (outcome-relevant
+	// inputs only — never the engine knobs above, which the golden
+	// matrix pins as outcome-invisible) is hashed to a key, hits replay
+	// the stored Summary+extras without simulating, and misses store
+	// their result for the next run (DESIGN.md §7.8). Identical cells
+	// inside one run are computed once and shared (singleflight).
+	Cache *cache.Cache
+	// CacheVerify makes every cache hit recompute the cell anyway and
+	// byte-compare the stored entry against the fresh result — a
+	// determinism tripwire. A divergence fails the cell (surfaced as a
+	// note) and counts in the cache stats' Mismatches.
+	CacheVerify bool
 
 	// errs accumulates failed cells; RunByID surfaces them as notes.
 	errs *errSink
@@ -187,6 +201,14 @@ type Result struct {
 	// it is JSON-only — excluded from Render/CSV so golden outputs stay
 	// engine-agnostic.
 	Sharding *transport.ShardStats `json:",omitempty"`
+
+	// Cache is this run's slice of the result-cache accounting (nil when
+	// no cache was configured): hits/misses/stores/verifies are deltas
+	// over the run, Bytes is the directory's absolute size. JSON-only
+	// like Events/Sharding — cache state must never leak into Render/CSV,
+	// whose bytes are compared against fresh output by the warm-cache CI
+	// job.
+	Cache *cache.Stats `json:",omitempty"`
 }
 
 // CSV renders the result rows as comma-separated values (times in
@@ -357,11 +379,22 @@ func RunByID(id string, o Options) (*Result, error) {
 		return nil, fmt.Errorf("exp: invalid shard count %d (want >= 1, or 0 for the default)", o.Shards)
 	}
 	o = o.withDefaults(e.DefFlows)
+	if o.CacheVerify && o.Cache == nil {
+		return nil, fmt.Errorf("exp: CacheVerify requires a Cache")
+	}
+	var cacheBefore cache.Stats
+	if o.Cache != nil {
+		cacheBefore = o.Cache.Stats()
+	}
 	res := e.Run(o)
 	for _, msg := range o.errs.drain() {
 		res.Notes = append(res.Notes, "cell failed: "+msg)
 	}
 	res.Events = atomic.LoadUint64(o.events)
 	res.Sharding = o.sharding.st
+	if o.Cache != nil {
+		d := o.Cache.Stats().Delta(cacheBefore)
+		res.Cache = &d
+	}
 	return res, nil
 }

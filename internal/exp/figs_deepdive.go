@@ -8,7 +8,6 @@ import (
 	"ppt/internal/stats"
 	"ppt/internal/topo"
 	"ppt/internal/transport"
-	"ppt/internal/transport/dctcp"
 	"ppt/internal/transport/ppt"
 	"ppt/internal/transport/rc3"
 	"ppt/internal/workload"
@@ -40,9 +39,26 @@ func ablation(id, title, note string, defFlows int, variant ppt.Config, plainBuf
 			for _, cfg := range []ppt.Config{{}, variant} {
 				sc := pptScheme((ppt.Proto{Cfg: cfg}).Name(), cfg)
 				names = append(names, sc.name)
-				outs = append(outs, p.submitSpec(sc.name, runSpec{fab: fab, sc: sc,
+				// The LCP health extras come from the extractor so they are
+				// part of the cached value (an ablation cell and a plain
+				// comparison cell over the same spec are different cache
+				// entries — the extras tag separates them).
+				outs = append(outs, p.submitSpecExtra(sc.name, runSpec{fab: fab, sc: sc,
 					dist: workload.WebSearch, pattern: pattern, load: load,
-					flows: o.Flows, seed: o.Seed}))
+					flows: o.Flows, seed: o.Seed},
+					"lcp-ablation", func(env *transport.Env) map[string]float64 {
+						var lowDrops, lowMarks int64
+						for _, sp := range env.Net.SwitchPorts() {
+							lowDrops += sp.Stats.DropsLow
+							lowMarks += sp.Stats.MarksLow
+						}
+						return map[string]float64{
+							"low-eff":    env.Eff.LowLoop(),
+							"low-drops":  float64(lowDrops),
+							"low-marks":  float64(lowMarks),
+							"low-sentMB": float64(env.Eff.SentLowPayload) / 1e6,
+						}
+					}))
 			}
 			p.run()
 			var rows []Row
@@ -51,17 +67,7 @@ func ablation(id, title, note string, defFlows int, variant ppt.Config, plainBuf
 					rows = append(rows, Row{Label: names[i]})
 					continue
 				}
-				var lowDrops, lowMarks int64
-				for _, sp := range out.env.Net.SwitchPorts() {
-					lowDrops += sp.Stats.DropsLow
-					lowMarks += sp.Stats.MarksLow
-				}
-				rows = append(rows, Row{Label: names[i], Sum: out.sum, Extra: map[string]float64{
-					"low-eff":    out.env.Eff.LowLoop(),
-					"low-drops":  float64(lowDrops),
-					"low-marks":  float64(lowMarks),
-					"low-sentMB": float64(out.env.Eff.SentLowPayload) / 1e6,
-				}})
+				rows = append(rows, Row{Label: names[i], Sum: out.sum, Extra: out.extra})
 			}
 			return &Result{ID: id, Title: title, Rows: rows, Notes: []string{note,
 				"with dynamic-threshold switches, the damage of a misbehaving LCP surfaces as wasted low-class traffic (low-eff, low-drops) before it surfaces as FCT"}}
@@ -95,7 +101,10 @@ func init() {
 			}
 			// Deliberately serial: this experiment measures wall-clock per
 			// simulated event, which sharing cores with sibling cells would
-			// distort.
+			// distort. For the same reason it bypasses the result cache —
+			// wall-ns-per-event is not a pure function of the spec, so a
+			// replayed number would be meaningless and -cache-verify would
+			// flag it forever.
 			measure := func(sc scheme) Row {
 				start := time.Now()
 				sum, env := execute(runSpec{fab: fab, sc: sc, dist: workload.WebSearch,
@@ -124,14 +133,17 @@ func init() {
 		Run: func(o Options) *Result {
 			p := newPool(o)
 			rows := make([]Row, 3)
-			p.submit("fig20 dctcp", func() {
-				rows[0] = utilizationRun(o, 0.5, func(*transport.Env) transport.Protocol { return dctcp.Proto{} }, 0)
+			p.submit("fig20 dctcp", func() (err error) {
+				rows[0], err = utilizationRun(o, 0.5, "dctcp", 0)
+				return err
 			})
-			p.submit("fig20 ppt", func() {
-				rows[1] = utilizationRun(o, 0.5, func(*transport.Env) transport.Protocol { return ppt.Proto{} }, 0)
+			p.submit("fig20 ppt", func() (err error) {
+				rows[1], err = utilizationRun(o, 0.5, "ppt", 0)
+				return err
 			})
-			p.submit("fig20 hypothetical", func() {
-				rows[2] = utilizationRun(o, 0.5, nil, 1.0)
+			p.submit("fig20 hypothetical", func() (err error) {
+				rows[2], err = utilizationRun(o, 0.5, "", 1.0)
+				return err
 			})
 			p.run()
 			return &Result{ID: "fig20", Title: "bottleneck utilization under web search at 0.5 load",
@@ -266,8 +278,17 @@ func bufferStudy(o Options, efficiency bool) *Result {
 	for i, c := range cells {
 		i, c := i, c
 		rows[i] = Row{Label: c.label}
-		p.submit(c.label, func() {
-			rows[i] = runBufferCell(o, c.name, c.label, c.k, load, efficiency)
+		p.submit(c.label, func() error {
+			sum, extra, err := o.cachedCell(
+				bufStudyDesc(c.name, c.k, load, o.Flows, o.Seed, efficiency),
+				func() (stats.Summary, map[string]float64) {
+					return runBufferCell(o, c.name, c.k, load, efficiency)
+				})
+			if err != nil {
+				return err
+			}
+			rows[i] = Row{Label: c.label, Sum: sum, Extra: extra}
+			return nil
 		})
 	}
 	p.run()
@@ -284,8 +305,10 @@ func bufferStudy(o Options, efficiency bool) *Result {
 
 // runBufferCell is one bufferStudy cell: a fresh dumbbell with the given
 // shared ECN threshold, a buffer-occupancy sampler on the bottleneck,
-// and one scheme driven to completion.
-func runBufferCell(o Options, name, label string, k int64, load float64, efficiency bool) Row {
+// and one scheme driven to completion. Runs inside the cell cache
+// (bufStudyDesc), so everything it returns must come from this one
+// computation.
+func runBufferCell(o Options, name string, k int64, load float64, efficiency bool) (stats.Summary, map[string]float64) {
 	sc := baseSchemes()[name]
 	fab := dumbbellFabric(2, k)
 	fab.cfg.ECNLowK = k // same threshold for both classes (per the paper)
@@ -303,17 +326,14 @@ func runBufferCell(o Options, name, label string, k int64, load float64, efficie
 	o.addEvents(env.Sched().Executed)
 	bs.Stop()
 	hi, lo := bs.MeanOccupancy()
-	row := Row{Label: label, Sum: sum}
 	if efficiency {
-		row.Extra = map[string]float64{
+		return sum, map[string]float64{
 			"transfer-eff": env.Eff.Overall(),
 			"low-eff":      env.Eff.LowLoop(),
 		}
-	} else {
-		row.Extra = map[string]float64{
-			"high-occ-KB": hi / 1000,
-			"low-occ-KB":  lo / 1000,
-		}
 	}
-	return row
+	return sum, map[string]float64{
+		"high-occ-KB": hi / 1000,
+		"low-occ-KB":  lo / 1000,
+	}
 }

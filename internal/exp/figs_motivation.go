@@ -8,7 +8,6 @@ import (
 	"ppt/internal/stats"
 	"ppt/internal/topo"
 	"ppt/internal/transport"
-	"ppt/internal/transport/dctcp"
 	"ppt/internal/transport/ppt"
 	"ppt/internal/workload"
 )
@@ -44,53 +43,58 @@ func runOracle(o Options, fab fabric, flows []transport.SimpleFlow, frac float64
 	return sum, env2
 }
 
-// utilizationRun drives one scheme on the Fig 1/20 dumbbell and samples
-// the bottleneck downlink every 100µs.
-func utilizationRun(o Options, load float64, proto func(env *transport.Env) transport.Protocol, oracleFrac float64) Row {
+// utilizationRun drives one scheme (named in baseSchemes, or the
+// two-pass oracle when oracleFrac > 0) on the Fig 1/20 dumbbell and
+// samples the bottleneck downlink every 100µs. The whole cell —
+// summary and utilization extras — runs through the result cache.
+func utilizationRun(o Options, load float64, schemeName string, oracleFrac float64) (Row, error) {
 	fab := dumbbellFabric(2, 120_000)
-	cfg := fab.cfg
-	cfg.Sched = o.schedImpl()
-	flows := makeFlows(cfg, workload.WebSearch, workload.Incast{N: 3, Target: 0}, load, o.Flows, o.Seed)
-	net := fab.build(cfg)
-	env := transport.NewEnv(net)
-	env.RTOMin = fab.rtoMin
-	us := stats.SampleUtilization(env.Sched(), net.Switches[0].Port(0), 100*sim.Microsecond)
-	var sum stats.Summary
-	var label string
-	if oracleFrac > 0 {
-		// Oracle runs its own two passes on fresh fabrics; the sampler
-		// above is replaced by one on the second-pass fabric.
-		rec := ppt.NewMWRecorder()
-		transport.Run(env, rec, flows, transport.RunConfig{})
-		net2 := fab.build(cfg)
-		env2 := transport.NewEnv(net2)
-		env2.RTOMin = fab.rtoMin
-		us = stats.SampleUtilization(env2.Sched(), net2.Switches[0].Port(0), 100*sim.Microsecond)
-		sum = transport.Run(env2, ppt.Oracle{MW: rec.MW(), FillFraction: oracleFrac}, flows, transport.RunConfig{})
-		o.addEvents(env2.Sched().Executed)
-		label = "hypothetical"
-	} else {
-		p := proto(env)
-		sum = transport.Run(env, p, flows, transport.RunConfig{})
-		label = p.Name()
+	label := "hypothetical"
+	var sc scheme
+	if oracleFrac <= 0 {
+		sc = baseSchemes()[schemeName]
+		label = sc.make(nil).Name()
 	}
-	o.addEvents(env.Sched().Executed)
-	us.Stop()
-	// Steady state: skip the first 10% of samples.
-	n := len(us.Samples)
-	var from sim.Time
-	if n > 0 {
-		from = us.Samples[n/10].At
-	}
-	to := sim.MaxTime
-	return Row{
-		Label: label,
-		Sum:   sum,
-		Extra: map[string]float64{
-			"util-mean": us.Mean(from, to),
-			"util-min":  us.Min(from, to),
-		},
-	}
+	sum, extra, err := o.cachedCell(
+		utilDesc(fab, load, o.Flows, o.Seed, schemeName, oracleFrac),
+		func() (stats.Summary, map[string]float64) {
+			cfg := fab.cfg
+			cfg.Sched = o.schedImpl()
+			flows := makeFlows(cfg, workload.WebSearch, workload.Incast{N: 3, Target: 0}, load, o.Flows, o.Seed)
+			net := fab.build(cfg)
+			env := transport.NewEnv(net)
+			env.RTOMin = fab.rtoMin
+			us := stats.SampleUtilization(env.Sched(), net.Switches[0].Port(0), 100*sim.Microsecond)
+			var sum stats.Summary
+			if oracleFrac > 0 {
+				// Oracle runs its own two passes on fresh fabrics; the sampler
+				// above is replaced by one on the second-pass fabric.
+				rec := ppt.NewMWRecorder()
+				transport.Run(env, rec, flows, transport.RunConfig{})
+				net2 := fab.build(cfg)
+				env2 := transport.NewEnv(net2)
+				env2.RTOMin = fab.rtoMin
+				us = stats.SampleUtilization(env2.Sched(), net2.Switches[0].Port(0), 100*sim.Microsecond)
+				sum = transport.Run(env2, ppt.Oracle{MW: rec.MW(), FillFraction: oracleFrac}, flows, transport.RunConfig{})
+				o.addEvents(env2.Sched().Executed)
+			} else {
+				sum = transport.Run(env, sc.make(env), flows, transport.RunConfig{})
+			}
+			o.addEvents(env.Sched().Executed)
+			us.Stop()
+			// Steady state: skip the first 10% of samples.
+			n := len(us.Samples)
+			var from sim.Time
+			if n > 0 {
+				from = us.Samples[n/10].At
+			}
+			to := sim.MaxTime
+			return sum, map[string]float64{
+				"util-mean": us.Mean(from, to),
+				"util-min":  us.Min(from, to),
+			}
+		})
+	return Row{Label: label, Sum: sum, Extra: extra}, err
 }
 
 func init() {
@@ -99,7 +103,10 @@ func init() {
 		Title:    "DCTCP link utilization fluctuates under Web Search at load 0.5 (ideal 0.5)",
 		DefFlows: 400,
 		Run: func(o Options) *Result {
-			row := utilizationRun(o, 0.5, func(*transport.Env) transport.Protocol { return dctcp.Proto{} }, 0)
+			row, err := utilizationRun(o, 0.5, "dctcp", 0)
+			if err != nil {
+				o.errs.add(fmt.Sprintf("fig1 dctcp: %v", err))
+			}
 			return &Result{ID: "fig1", Title: "DCTCP link utilization (dumbbell 2->1, 40G)",
 				Rows:  []Row{row},
 				Notes: []string{"paper: DCTCP fluctuates between ~25% and ~50%; util-min well below 0.5 reproduces the drop"}}
@@ -118,9 +125,16 @@ func init() {
 			var oracleSum stats.Summary
 			wantOracle := o.wants("hypothetical")
 			if wantOracle {
-				p.submit("hypothetical", func() {
-					flows := makeFlows(fab.cfg, workload.WebSearch, pattern, 0.5, o.Flows, o.Seed)
-					oracleSum, _ = runOracle(o, fab, flows, 1.0)
+				p.submit("hypothetical", func() error {
+					var err error
+					oracleSum, _, err = o.cachedCell(
+						oracleDesc(fab, workload.WebSearch, pattern, 0.5, o.Flows, o.Seed, 1.0),
+						func() (stats.Summary, map[string]float64) {
+							flows := makeFlows(fab.cfg, workload.WebSearch, pattern, 0.5, o.Flows, o.Seed)
+							sum, _ := runOracle(o, fab, flows, 1.0)
+							return sum, nil
+						})
+					return err
 				})
 			}
 			p.run()
@@ -151,17 +165,22 @@ func init() {
 				i, frac := i, frac
 				label := fmt.Sprintf("fill-%.2fxMW", frac)
 				rows[i] = Row{Label: label}
-				p.submit(label, func() {
-					sum, env := runOracle(o, fab, flows, frac)
-					var drops int64
-					for _, sp := range env.Net.SwitchPorts() {
-						drops += sp.Stats.Drops
+				p.submit(label, func() error {
+					sum, extra, err := o.cachedCell(
+						oracleDesc(fab, workload.DataMining, pattern, 0.6, o.Flows, o.Seed, frac)+"extras=switch-drops\n",
+						func() (stats.Summary, map[string]float64) {
+							sum, env := runOracle(o, fab, flows, frac)
+							var drops int64
+							for _, sp := range env.Net.SwitchPorts() {
+								drops += sp.Stats.Drops
+							}
+							return sum, map[string]float64{"switch-drops": float64(drops)}
+						})
+					if err != nil {
+						return err
 					}
-					rows[i] = Row{
-						Label: label,
-						Sum:   sum,
-						Extra: map[string]float64{"switch-drops": float64(drops)},
-					}
+					rows[i] = Row{Label: label, Sum: sum, Extra: extra}
+					return nil
 				})
 			}
 			p.run()

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"ppt/internal/stats"
+	"ppt/internal/transport"
 	"ppt/internal/workload"
 )
 
@@ -81,13 +82,24 @@ func runScaleSpill(o Options, id, title string, dist *workload.Dist, spill int) 
 		}
 		outs := make([]*cellOut, o.Repeats)
 		for rep := 0; rep < o.Repeats; rep++ {
-			outs[rep] = p.submitSpec(
+			// The spill accounting rides in the extras extractor so it can
+			// replay from the cache (there is no collector on a hit). The
+			// extras tag carries the chunk size: resident_peak/spilled are
+			// a function of it, even though the Summary is not.
+			outs[rep] = p.submitSpecExtra(
 				fmt.Sprintf("%s flows=%d seed=%d", name, o.Flows, o.Seed+int64(rep)),
 				runSpec{
 					fab: fab, sc: all[name], dist: dist,
 					pattern: workload.AllToAll{N: fab.hosts},
 					load:    load, flows: o.Flows, seed: o.Seed + int64(rep),
 					stream: true, spillChunk: spill,
+				},
+				fmt.Sprintf("scale-spill/chunk=%d", spill),
+				func(env *transport.Env) map[string]float64 {
+					return map[string]float64{
+						"resident_peak":   float64(env.Collector.ResidentPeak()),
+						"spilled_records": float64(env.Collector.SpilledRecords()),
+					}
 				})
 		}
 		cells = append(cells, schemeCells{name, outs})
@@ -98,23 +110,23 @@ func runScaleSpill(o Options, id, title string, dist *workload.Dist, spill int) 
 		var sums []stats.Summary
 		// resident_peak is the max across repeats (the bound being
 		// claimed); spilled_records the mean.
-		peak, spilled := 0, 0.0
+		peak, spilled := 0.0, 0.0
 		for _, out := range c.outs {
 			if out.failed() {
 				continue
 			}
 			sums = append(sums, out.sum)
-			if p := out.env.Collector.ResidentPeak(); p > peak {
+			if p := out.extra["resident_peak"]; p > peak {
 				peak = p
 			}
-			spilled += float64(out.env.Collector.SpilledRecords())
+			spilled += out.extra["spilled_records"]
 		}
 		if len(sums) == 0 {
 			rows = append(rows, Row{Label: c.name})
 			continue
 		}
 		row := Row{Label: c.name, Sum: meanSummary(sums), Extra: map[string]float64{
-			"resident_peak": float64(peak),
+			"resident_peak": peak,
 		}}
 		if spill > 0 {
 			row.Extra["spilled_records"] = spilled / float64(len(sums))

@@ -48,18 +48,23 @@ func (s *errSink) drain() []string {
 	return out
 }
 
-// poolJob is one submitted cell.
+// poolJob is one submitted cell. A non-nil return from fn fails the
+// cell (reported through the error sink in submission order).
 type poolJob struct {
 	label string
-	fn    func()
+	fn    func() error
 	err   error
 }
 
-// cellOut is the landing slot for one execute() cell.
+// cellOut is the landing slot for one execute() cell: the summary plus
+// any extras the cell's extractor computed. Deliberately no *Env — a
+// cache hit replays a cell without ever building an environment, so
+// everything a caller needs must land here (via the extras extractor)
+// during the compute itself.
 type cellOut struct {
-	sum stats.Summary
-	env *transport.Env
-	job *poolJob
+	sum   stats.Summary
+	extra map[string]float64
+	job   *poolJob
 }
 
 func (c *cellOut) failed() bool { return c.job.err != nil }
@@ -76,9 +81,9 @@ type pool struct {
 func newPool(o Options) *pool { return &pool{opts: o} }
 
 // submit registers fn as one cell. fn runs exactly once during run(),
-// possibly on another goroutine; a panic inside it fails the cell (the
-// job's err) instead of the process.
-func (p *pool) submit(label string, fn func()) *poolJob {
+// possibly on another goroutine; a panic inside it — or a returned
+// error — fails the cell (the job's err) instead of the process.
+func (p *pool) submit(label string, fn func() error) *poolJob {
 	j := &poolJob{label: label, fn: fn}
 	p.jobs = append(p.jobs, j)
 	return j
@@ -87,6 +92,19 @@ func (p *pool) submit(label string, fn func()) *poolJob {
 // submitSpec registers one execute() cell and returns its output slot,
 // valid after run().
 func (p *pool) submitSpec(label string, spec runSpec) *cellOut {
+	return p.submitSpecExtra(label, spec, "", nil)
+}
+
+// submitSpecExtra is submitSpec for cells that report extra metrics:
+// extras (when non-nil) runs against the cell's environment right
+// after execute, inside the cached computation — so the extras are
+// part of the stored value and replay on a hit, when no environment
+// exists. extrasKind tags the cache descriptor so a cell with extras
+// never shares an entry with a summary-only cell over the same spec
+// (same simulation, different stored value). Event/sharding accounting
+// stays inside the computation too: a hit deliberately contributes
+// zero events (nothing was simulated).
+func (p *pool) submitSpecExtra(label string, spec runSpec, extrasKind string, extras func(*transport.Env) map[string]float64) *cellOut {
 	out := &cellOut{}
 	spec.sched = p.opts.schedImpl()
 	spec.shards = p.opts.Shards
@@ -97,14 +115,28 @@ func (p *pool) submitSpec(label string, spec runSpec) *cellOut {
 	if p.opts.Stream {
 		spec.stream = true
 	}
-	events := p.opts.events
-	sharding := p.opts.sharding
-	out.job = p.submit(label, func() {
-		out.sum, out.env = execute(spec)
-		if events != nil {
-			atomic.AddUint64(events, out.env.Net.Executed())
+	opts := p.opts
+	desc := specDesc(spec)
+	if extrasKind != "" {
+		desc += "extras=" + extrasKind + "\n"
+	}
+	out.job = p.submit(label, func() error {
+		sum, extra, err := opts.cachedCell(desc, func() (stats.Summary, map[string]float64) {
+			sum, env := execute(spec)
+			if opts.events != nil {
+				atomic.AddUint64(opts.events, env.Net.Executed())
+			}
+			opts.sharding.add(env.ShardStats)
+			if extras == nil {
+				return sum, nil
+			}
+			return sum, extras(env)
+		})
+		if err != nil {
+			return err
 		}
-		sharding.add(out.env.ShardStats)
+		out.sum, out.extra = sum, extra
+		return nil
 	})
 	if p.opts.StrictShards && p.opts.Shards > 1 && !spec.fab.partitionable {
 		// Fail the cell up front with an error naming the topology:
@@ -193,5 +225,5 @@ func (j *poolJob) runOne() {
 			j.err = fmt.Errorf("panic: %v", r)
 		}
 	}()
-	j.fn()
+	j.err = j.fn()
 }

@@ -39,7 +39,7 @@ func TestPoolPreservesSubmissionOrder(t *testing.T) {
 	out := make([]int, n)
 	for i := 0; i < n; i++ {
 		i := i
-		p.submit("job", func() { out[i] = i + 1 })
+		p.submit("job", func() error { out[i] = i + 1; return nil })
 	}
 	p.run()
 	for i, v := range out {
@@ -56,9 +56,9 @@ func TestPoolCapturesPanics(t *testing.T) {
 	o := Options{Parallel: 2, errs: &errSink{}}
 	p := newPool(o)
 	ok := make([]bool, 3)
-	p.submit("good-0", func() { ok[0] = true })
-	j := p.submit("bad", func() { panic("boom") })
-	p.submit("good-2", func() { ok[2] = true })
+	p.submit("good-0", func() error { ok[0] = true; return nil })
+	j := p.submit("bad", func() error { panic("boom") })
+	p.submit("good-2", func() error { ok[2] = true; return nil })
 	p.run()
 	if !ok[0] || !ok[2] {
 		t.Fatal("sibling cells did not complete")
@@ -77,7 +77,7 @@ func TestPoolCapturesPanics(t *testing.T) {
 func TestPoolFailedCellSurfacesAsNote(t *testing.T) {
 	o := Options{}.withDefaults(1)
 	p := newPool(o)
-	p.submit("exploding cell", func() { panic("kaboom") })
+	p.submit("exploding cell", func() error { panic("kaboom") })
 	p.run()
 	notes := o.errs.drain()
 	if len(notes) != 1 {
@@ -100,7 +100,7 @@ func TestPoolProgressReporting(t *testing.T) {
 	}}
 	p := newPool(o)
 	for i := 0; i < 5; i++ {
-		p.submit("job", func() {})
+		p.submit("job", func() error { return nil })
 	}
 	p.run()
 	if len(seen) != 5 {
@@ -120,7 +120,7 @@ func TestPoolSerialWhenParallelOne(t *testing.T) {
 	var order []int
 	for i := 0; i < 4; i++ {
 		i := i
-		p.submit("job", func() { order = append(order, i) })
+		p.submit("job", func() error { order = append(order, i); return nil })
 	}
 	p.run()
 	for i, v := range order {

@@ -31,6 +31,11 @@ type fabric struct {
 	cfg    topo.Config
 	rtoMin sim.Time
 	hosts  int
+	// shape names the wiring the build closure produces (builder kind +
+	// dimensions). Part of the cell cache key: two fabrics can share
+	// name and config yet wire different topologies (e.g. a wider
+	// leaf-spine), and a closure can't be hashed.
+	shape string
 	// partitionable marks builders that honor Config.Shards with a real
 	// multi-switch partition (topo.LeafSpine). Single-switch builders
 	// (topo.Star, topo.Dumbbell) have nothing to shard and silently run
@@ -47,6 +52,7 @@ type fabric struct {
 func simFabric(leaves, spines, perLeaf int) fabric {
 	return fabric{
 		name:  "leafspine-40/100G",
+		shape: fmt.Sprintf("leafspine/%d-%d-%d", leaves, spines, perLeaf),
 		build: func(cfg topo.Config) *topo.Network { return topo.LeafSpine(leaves, spines, perLeaf, cfg) },
 		cfg: topo.Config{
 			HostRate:      40 * netsim.Gbps,
@@ -89,6 +95,7 @@ func nonOverFabric(leaves, spines, perLeaf int) fabric {
 func testbedFabric() fabric {
 	return fabric{
 		name:  "testbed-star-10G",
+		shape: "star/15",
 		build: func(cfg topo.Config) *topo.Network { return topo.Star(15, cfg) },
 		cfg: topo.Config{
 			HostRate:            10 * netsim.Gbps,
@@ -108,6 +115,7 @@ func testbedFabric() fabric {
 func dumbbellFabric(senders int, ecnK int64) fabric {
 	return fabric{
 		name:  "dumbbell-40G",
+		shape: fmt.Sprintf("star/%d", senders+1),
 		build: func(cfg topo.Config) *topo.Network { return topo.Star(senders+1, cfg) },
 		cfg: topo.Config{
 			HostRate:     40 * netsim.Gbps,
